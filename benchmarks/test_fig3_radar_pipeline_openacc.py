@@ -1,0 +1,34 @@
+"""EXP-F3 — Figure 3: radar plot, pipeline accuracy by category, OpenACC."""
+
+from repro.metrics.radar import radar_series, render_ascii_radar
+
+
+def test_fig3_radar_pipeline_openacc(benchmark, exp, emit_artifact):
+    figure = exp.fig3()
+    emit_artifact("fig3", figure.text)
+
+    by_label = {series.label: series.as_dict() for series in figure.series}
+    p1 = by_label["Pipeline 1"]
+    # the figure's defining shape: three axes pinned high, test logic low
+    assert p1["improper syntax"] == 1.0
+    assert p1["no directives"] >= 0.9
+    assert p1["test logic"] < 0.6
+
+    # paper-vs-measured per axis
+    for label, series in by_label.items():
+        published = figure.paper[label]
+        for axis, value in series.items():
+            # shape tolerance: winners and order preserved, not exact cells
+            assert abs(value - published[axis]) < 0.45, (label, axis)
+
+    run = exp.part2_run("acc")
+
+    def build_figure():
+        series = [
+            radar_series(run.pipeline1_report),
+            radar_series(run.pipeline2_report),
+        ]
+        return render_ascii_radar(series)
+
+    art = benchmark(build_figure)
+    assert "test logic" in art

@@ -1,0 +1,33 @@
+"""EXP-F4 — Figure 4: radar plot, pipeline accuracy by category, OpenMP."""
+
+from repro.metrics.radar import radar_series, render_ascii_radar
+
+
+def test_fig4_radar_pipeline_openmp(benchmark, exp, emit_artifact):
+    figure = exp.fig4()
+    emit_artifact("fig4", figure.text)
+
+    by_label = {series.label: series.as_dict() for series in figure.series}
+    p1, p2 = by_label["Pipeline 1"], by_label["Pipeline 2"]
+    # paper: the two OpenMP pipelines are nearly identical on the axes
+    # the compiler pins (the test-logic axis rests on a handful of files
+    # at this scale, so its spread is sampling noise, not shape)
+    for axis in ("model errors", "improper syntax", "no directives"):
+        assert abs(p1[axis] - p2[axis]) < 0.40, axis
+    assert p1["improper syntax"] == 1.0 and p2["improper syntax"] == 1.0
+    # and OpenMP test-logic detection is far better than OpenACC's (fig 3);
+    # only meaningful when the issue-4 cell is populated
+    run = exp.part2_run("omp")
+    issue4 = run.pipeline1_report.row_for(4)
+    if issue4 is not None and issue4.count >= 5:
+        acc_p1 = {s.label: s.as_dict() for s in exp.fig3().series}["Pipeline 1"]
+        assert p1["test logic"] > acc_p1["test logic"]
+
+    run = exp.part2_run("omp")
+
+    def build_figure():
+        return render_ascii_radar(
+            [radar_series(run.pipeline1_report), radar_series(run.pipeline2_report)]
+        )
+
+    benchmark(build_figure)

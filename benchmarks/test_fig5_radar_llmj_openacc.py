@@ -1,0 +1,35 @@
+"""EXP-F5 — Figure 5: radar plot of all three LLMJs, OpenACC."""
+
+from repro.metrics.radar import radar_series, render_ascii_radar
+
+
+def test_fig5_radar_llmj_openacc(benchmark, exp, emit_artifact):
+    figure = exp.fig5()
+    emit_artifact("fig5", figure.text)
+
+    by_label = {series.label: series.as_dict() for series in figure.series}
+    direct = by_label["Direct LLMJ"]
+    llmj1 = by_label["LLMJ 1"]
+    llmj2 = by_label["LLMJ 2"]
+
+    # paper: agent judges beat the direct judge on almost every category
+    assert llmj1["model errors"] > direct["model errors"]
+    assert llmj1["improper syntax"] > direct["improper syntax"]
+    assert llmj2["no directives"] >= direct["no directives"]
+    # valid-test recognition stays high for the agents
+    assert llmj1["valid tests"] > 0.75
+
+    direct_report = exp.part1_report("acc")
+    run = exp.part2_run("acc")
+
+    def build_figure():
+        return render_ascii_radar(
+            [
+                radar_series(direct_report, include_valid_axis=True),
+                radar_series(run.llmj1_report, include_valid_axis=True),
+                radar_series(run.llmj2_report, include_valid_axis=True),
+            ]
+        )
+
+    art = benchmark(build_figure)
+    assert "valid tests" in art

@@ -1,0 +1,38 @@
+"""EXP-F6 — Figure 6: radar plot of all three LLMJs, OpenMP."""
+
+from repro.metrics.radar import radar_series, render_ascii_radar
+
+
+def test_fig6_radar_llmj_openmp(benchmark, exp, emit_artifact):
+    figure = exp.fig6()
+    emit_artifact("fig6", figure.text)
+
+    by_label = {series.label: series.as_dict() for series in figure.series}
+    direct = by_label["Direct LLMJ"]
+    llmj1 = by_label["LLMJ 1"]
+    llmj2 = by_label["LLMJ 2"]
+
+    # paper: agents transform no-OpenMP detection (4% -> 65/85%);
+    # meaningful only when the issue-3 cell is populated
+    run = exp.part2_run("omp")
+    row3 = run.llmj1_report.row_for(3)
+    if row3 is not None and row3.count >= 8:
+        assert llmj1["no directives"] > direct["no directives"]
+        assert llmj2["no directives"] > direct["no directives"] - 0.15
+    # and valid-test recognition (39% -> 93/96%)
+    assert llmj1["valid tests"] > direct["valid tests"]
+    assert llmj2["valid tests"] > direct["valid tests"]
+
+    direct_report = exp.part1_report("omp")
+    run = exp.part2_run("omp")
+
+    def build_figure():
+        return render_ascii_radar(
+            [
+                radar_series(direct_report, include_valid_axis=True),
+                radar_series(run.llmj1_report, include_valid_axis=True),
+                radar_series(run.llmj2_report, include_valid_axis=True),
+            ]
+        )
+
+    benchmark(build_figure)

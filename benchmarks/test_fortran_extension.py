@@ -1,0 +1,49 @@
+"""Extension bench: the Fortran Part-Two protocol (paper future work)."""
+
+from repro.compiler.driver import Compiler
+from repro.runtime.executor import Executor
+
+
+def test_fortran_extension(benchmark, exp, emit_artifact):
+    result = exp.fortran_extension()
+    emit_artifact("fortran_extension", result.text)
+
+    pipeline1, _, llmj1, _ = result.reports
+    assert pipeline1.total_count > 0
+    assert llmj1.accuracy_for(5) is not None
+
+    # benchmark: Fortran front-end compile + run cost
+    source = """program bench
+  implicit none
+  integer :: i, n
+  real(8) :: a(64), expected(64)
+  integer :: err
+  n = 64
+  err = 0
+  do i = 1, n
+    a(i) = i * 1.0
+    expected(i) = a(i) * 2.0
+  end do
+  !$acc parallel loop copy(a)
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+  do i = 1, n
+    if (abs(a(i) - expected(i)) > 1.0e-9) then
+      err = err + 1
+    end if
+  end do
+  if (err > 0) then
+    stop 1
+  end if
+end program bench
+"""
+    compiler = Compiler(model="acc")
+    executor = Executor()
+
+    def compile_and_run():
+        compiled = compiler.compile(source, "bench.f90")
+        return executor.run(compiled)
+
+    result_run = benchmark(compile_and_run)
+    assert result_run.returncode == 0

@@ -1,0 +1,31 @@
+"""Extension bench: the automated generate → validate loop."""
+
+from repro.generation import AutomatedSuiteBuilder
+
+
+def test_automated_generation_loop(benchmark, emit_artifact):
+    builder = AutomatedSuiteBuilder(flavor="acc", seed=77, candidates_per_feature=1)
+    features = [
+        "acc.parallel-loop", "acc.reduction.add", "acc.data.copy",
+        "acc.atomic", "acc.update", "acc.enter-exit-data",
+    ]
+    report = builder.build(features)
+    emit_artifact("generation_loop", report.render())
+
+    assert report.candidates_total == len(features)
+    assert 0.0 < report.yield_fraction <= 1.0
+    # the pipeline must reject every compile-level defect
+    compile_defects = sum(
+        n for d, n in report.defects_seen.items()
+        if d.value.startswith("compile")
+    )
+    assert report.rejected_by_stage.get("compile", 0) >= max(0, compile_defects - 1)
+
+    small = ["acc.parallel-loop", "acc.reduction.add"]
+
+    def build_small():
+        b = AutomatedSuiteBuilder(flavor="acc", seed=78, candidates_per_feature=1)
+        return b.build(small)
+
+    result = benchmark(build_small)
+    assert result.candidates_total == len(small)

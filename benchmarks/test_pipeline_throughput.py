@@ -1,0 +1,80 @@
+"""EXP-PIPE — §III-C claims: staging and early exit cut wasted work.
+
+Two benches:
+
+* worker-count scaling of the staged pipeline (parametrized 1/2/4);
+* the early-exit ablation, asserting the judge-invocation savings the
+  paper's pipeline design argues for.
+"""
+
+import pytest
+
+from repro.llm.model import DeepSeekCoderSim
+from repro.pipeline.engine import PipelineConfig, ValidationPipeline
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_pipeline_worker_scaling(benchmark, bench_population, workers):
+    sample = bench_population[:16]
+    pipeline = ValidationPipeline(
+        PipelineConfig(
+            flavor="acc",
+            early_exit=True,
+            compile_workers=workers,
+            execute_workers=workers,
+            judge_workers=workers,
+        ),
+        model=DeepSeekCoderSim(seed=9),
+    )
+
+    def run():
+        return pipeline.run(sample)
+
+    result = benchmark(run)
+    assert len(result.records) == len(sample)
+
+
+def test_early_exit_saves_judge_invocations(benchmark, bench_population, emit_artifact):
+    sample = bench_population  # includes compile- and run-failing mutants
+    model = DeepSeekCoderSim(seed=9)
+
+    record_all = ValidationPipeline(
+        PipelineConfig(flavor="acc", early_exit=False), model=model
+    ).run(sample)
+    early_exit_pipeline = ValidationPipeline(
+        PipelineConfig(flavor="acc", early_exit=True), model=model
+    )
+
+    def run_early_exit():
+        return early_exit_pipeline.run(sample)
+
+    early = benchmark(run_early_exit)
+
+    saved = early.stats.judge_invocations_saved
+    all_judged = record_all.stats.judge.processed
+    early_judged = early.stats.judge.processed
+    sim_all = record_all.stats.judge.simulated_seconds
+    sim_early = early.stats.judge.simulated_seconds
+
+    emit_artifact(
+        "pipeline_early_exit",
+        "\n".join(
+            [
+                "Early-exit ablation (judge stage is the expensive one):",
+                f"  files:                     {len(sample)}",
+                f"  judge calls (record-all):  {all_judged}",
+                f"  judge calls (early-exit):  {early_judged}",
+                f"  judge calls saved:         {saved}",
+                f"  simulated GPU s (record-all): {sim_all:8.1f}",
+                f"  simulated GPU s (early-exit): {sim_early:8.1f}",
+            ]
+        ),
+    )
+
+    assert early_judged < all_judged
+    assert saved == all_judged - early_judged
+    assert sim_early < sim_all
+    # verdicts must agree: early exit only skips already-failed files
+    for rec_all, rec_early in zip(record_all.records, early.records):
+        if rec_all.compiled and rec_all.ran_clean:
+            assert rec_all.pipeline_says_valid == rec_early.pipeline_says_valid

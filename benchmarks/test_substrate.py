@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the substrate: compiler front-end, interpreter,
+tokenizer — the per-file costs every experiment pays."""
+
+from repro.compiler.driver import Compiler
+from repro.llm.tokenizer import SimTokenizer
+from repro.runtime.executor import Executor
+
+
+def test_compile_cost(benchmark, acc_source=None):
+    source = _vecadd_source()
+    compiler = Compiler(model="acc")
+
+    def compile_once():
+        return compiler.compile(source, "bench.c")
+
+    result = benchmark(compile_once)
+    assert result.ok
+
+
+def test_execute_cost(benchmark):
+    source = _vecadd_source()
+    compiled = Compiler(model="acc").compile(source, "bench.c")
+    executor = Executor()
+
+    def run_once():
+        return executor.run(compiled)
+
+    result = benchmark(run_once)
+    assert result.returncode == 0
+
+
+def test_tokenizer_cost(benchmark):
+    tokenizer = SimTokenizer()
+    text = _vecadd_source() * 4
+
+    def count():
+        return tokenizer.count(text)
+
+    n = benchmark(count)
+    assert n > 100
+
+
+def _vecadd_source() -> str:
+    return """#include <stdio.h>
+#include <stdlib.h>
+#include <openacc.h>
+#define N 128
+
+int main() {
+    double a[N];
+    double b[N];
+    double expected[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (double)i;
+        b[i] = 0.0;
+        expected[i] = a[i] * 2.0;
+    }
+#pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] * 2.0;
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != expected[i]) {
+            err = err + 1;
+        }
+    }
+    if (err != 0) {
+        printf("FAILED\\n");
+        return 1;
+    }
+    printf("PASSED\\n");
+    return 0;
+}
+"""

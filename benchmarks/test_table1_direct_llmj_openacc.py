@@ -1,0 +1,39 @@
+"""EXP-T1 — Table I: direct (tool-less) LLMJ negative probing, OpenACC.
+
+Regenerates the per-issue accuracy table and benchmarks the per-file
+cost of the direct judge (prompt build → generation → parse).
+"""
+
+from repro.judge.llmj import DirectLLMJ
+
+
+def test_table1_direct_llmj_openacc(benchmark, exp, emit_artifact):
+    result = exp.table1()
+    paper = result.paper
+    report = result.reports[0]
+
+    lines = [result.text, "", "paper-vs-measured accuracy per issue:"]
+    for issue in range(6):
+        row = report.row_for(issue)
+        if row is None:
+            continue
+        lines.append(
+            f"  issue {issue}: paper {paper.accuracy(issue):5.0%}  "
+            f"measured {row.accuracy:5.0%}"
+        )
+    emit_artifact("table1", "\n".join(lines))
+
+    # shape assertions (the paper's qualitative findings)
+    assert report.accuracy_for(3) > 0.5, "no-OpenACC detection should be easy"
+    assert report.accuracy_for(1) < 0.5, "bracket errors should be hard without tools"
+    assert report.accuracy_for(5) > 0.7, "valid files mostly pass"
+
+    # benchmark: judging a fixed sample of files
+    judge = DirectLLMJ(exp.model, "acc")
+    sample = list(exp.part1_population("acc"))[:8]
+
+    def judge_sample():
+        return [judge.judge(test).says_valid for test in sample]
+
+    verdicts = benchmark(judge_sample)
+    assert len(verdicts) == len(sample)

@@ -1,0 +1,43 @@
+"""EXP-T3 — Table III: direct LLMJ overall accuracy and bias.
+
+Benchmarks the vectorized metric computation over the full Part One
+evaluation set.
+"""
+
+import numpy as np
+
+from repro.metrics.accuracy import EvaluationSet, MetricsReport
+
+
+def test_table3_direct_overall(benchmark, exp, emit_artifact):
+    result = exp.table3()
+    acc_report, omp_report = result.reports
+    paper = result.paper
+
+    lines = [
+        result.text,
+        "",
+        f"OpenACC: paper acc {paper['acc'].overall_accuracy:.2%} bias {paper['acc'].bias:+.3f}"
+        f" | measured acc {acc_report.overall_accuracy:.2%} bias {acc_report.bias:+.3f}",
+        f"OpenMP:  paper acc {paper['omp'].overall_accuracy:.2%} bias {paper['omp'].bias:+.3f}"
+        f" | measured acc {omp_report.overall_accuracy:.2%} bias {omp_report.bias:+.3f}",
+    ]
+    emit_artifact("table3", "\n".join(lines))
+
+    # shape: OpenACC > OpenMP accuracy; strong positive ACC bias; ~0 OMP bias
+    assert acc_report.overall_accuracy > omp_report.overall_accuracy
+    assert acc_report.bias > 0.4
+    assert abs(omp_report.bias) < 0.45
+
+    # benchmark: metric computation on a paper-sized synthetic eval set
+    rng = np.random.default_rng(0)
+    issues = rng.integers(0, 6, size=1782)
+    truth = issues == 5
+    judged = truth ^ (rng.random(1782) < 0.25)
+    evals = EvaluationSet(issues, truth, judged)
+
+    def compute():
+        return MetricsReport.from_evaluations("bench", evals)
+
+    report = benchmark(compute)
+    assert 0.0 <= report.overall_accuracy <= 1.0

@@ -1,0 +1,42 @@
+"""EXP-T5 — Table V: validation pipeline per-issue results, OpenMP."""
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.suite import TestSuite
+from repro.llm.model import DeepSeekCoderSim
+from repro.pipeline.engine import PipelineConfig, ValidationPipeline
+from repro.probing.prober import NegativeProber
+
+
+def test_table5_pipeline_openmp(benchmark, exp, emit_artifact):
+    result = exp.table5()
+    p1, p2 = result.reports
+    paper = result.paper
+
+    lines = [result.text, "", "paper-vs-measured (Pipeline 2):"]
+    for issue in range(6):
+        row = p2.row_for(issue)
+        if row is None:
+            continue
+        lines.append(
+            f"  issue {issue}: paper {paper['Pipeline 2'].accuracy(issue):5.0%}  "
+            f"measured {row.accuracy:5.0%}"
+        )
+    emit_artifact("table5", "\n".join(lines))
+
+    # shape: OpenMP pipelines are accurate overall, valid files mostly pass
+    assert p1.accuracy_for(5) > 0.75
+    assert p2.accuracy_for(5) > 0.75
+    for issue in (1, 2):
+        assert p1.accuracy_for(issue) == 1.0
+
+    files = CorpusGenerator(seed=77).generate("omp", 16, languages=("c",))
+    probed = list(NegativeProber(seed=78).probe(TestSuite("b", "omp", files)))
+    pipeline = ValidationPipeline(
+        PipelineConfig(flavor="omp", early_exit=False), model=DeepSeekCoderSim(seed=2)
+    )
+
+    def run_pipeline():
+        return pipeline.run(probed)
+
+    run = benchmark(run_pipeline)
+    assert len(run.records) == len(probed)

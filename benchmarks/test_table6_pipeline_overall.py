@@ -1,0 +1,37 @@
+"""EXP-T6 — Table VI: overall validation-pipeline accuracy and bias."""
+
+from repro.metrics.accuracy import EvaluationSet, MetricsReport
+
+import numpy as np
+
+
+def test_table6_pipeline_overall(benchmark, exp, emit_artifact):
+    result = exp.table6()
+    acc_p1, acc_p2, omp_p1, omp_p2 = result.reports
+    paper = result.paper
+
+    lines = [result.text, ""]
+    for flavor, measured in (("acc", (acc_p1, acc_p2)), ("omp", (omp_p1, omp_p2))):
+        for published, report in zip(paper[flavor], measured):
+            lines.append(
+                f"{flavor} {published.label}: paper acc {published.overall_accuracy:.2%} "
+                f"bias {published.bias:+.3f} | measured acc "
+                f"{report.overall_accuracy:.2%} bias {report.bias:+.3f}"
+            )
+    emit_artifact("table6", "\n".join(lines))
+
+    # shapes: pipelines more accurate on OpenMP than OpenACC; restrictive bias
+    assert omp_p1.overall_accuracy > acc_p1.overall_accuracy
+    assert acc_p1.bias <= 0.1
+    assert acc_p2.bias <= 0.1
+
+    def recompute_overall():
+        rng = np.random.default_rng(1)
+        issues = rng.integers(0, 6, size=2078)
+        truth = issues == 5
+        judged = truth ^ (rng.random(2078) < 0.2)
+        return MetricsReport.from_evaluations(
+            "bench", EvaluationSet(issues, truth, judged)
+        )
+
+    benchmark(recompute_overall)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Ablation studies over the validation method's design choices.
+
+Three questions the paper's design raises, answered empirically:
+
+1. What does the pipeline's early exit buy? (judge calls and simulated
+   GPU time saved, at zero accuracy cost)
+2. How does real-toolchain nonconformance on valid tests open a gap
+   between pipeline accuracy and judge accuracy? (the mechanism behind
+   the paper's Table IV vs Table VII discrepancy)
+3. How stable are the headline numbers across judge sampling seeds?
+
+Run:  python examples/ablation_studies.py
+"""
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.suite import TestSuite
+from repro.experiments.ablations import (
+    early_exit_ablation,
+    flake_rate_sweep,
+    seed_variance,
+)
+from repro.probing.prober import NegativeProber
+
+
+def main() -> None:
+    print("building a probed OpenACC population ...")
+    files = CorpusGenerator(seed=61).generate("acc", 48, languages=("c", "cpp"))
+    population = list(NegativeProber(seed=62).probe(TestSuite("abl", "acc", files)))
+    print(f"  {len(population)} files\n")
+
+    print("=== 1. early-exit ablation ===")
+    result = early_exit_ablation(population)
+    print(f"  accuracy (record-all): {result.accuracy_record_all:.1%}")
+    print(f"  accuracy (early-exit): {result.accuracy_early_exit:.1%}")
+    print(f"  judge calls saved:     {result.judge_calls_saved} "
+          f"of {result.judge_calls_record_all}")
+    print(f"  simulated judge-time speedup: {result.speedup:.2f}x\n")
+
+    print("=== 2. toolchain-flake sweep ===")
+    print("  rate   pipeline-valid   judge-valid    gap")
+    for point in flake_rate_sweep(population, rates=(0.0, 0.07, 0.14, 0.28)):
+        print(
+            f"  {point.flake_rate:4.0%}   {point.pipeline_valid_accuracy:12.1%}"
+            f"   {point.judge_valid_accuracy:10.1%}   {point.gap:+6.1%}"
+        )
+    print("  (the judge discounts toolchain-limitation errors, so its accuracy")
+    print("   holds while the pipeline's falls — the paper's Table IV/VII gap)\n")
+
+    print("=== 3. judge-seed variance ===")
+    variance = seed_variance(population, seeds=(1, 2, 3, 4, 5))
+    print(f"  accuracies: {[f'{a:.1%}' for a in variance.accuracies]}")
+    print(f"  mean ± std: {variance.accuracy_mean:.1%} ± {variance.accuracy_std:.1%}")
+    print(f"  bias mean:  {variance.bias_mean:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: validate candidate OpenACC compiler tests.
+
+This is the paper's end product in five lines: hand the validator some
+candidate test sources, get structured verdicts back.  One candidate is
+a correct self-checking test; one has a corrupted directive; one lost
+its verification logic (the failure mode only the LLM judge can catch).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TestsuiteValidator
+
+GOOD_TEST = r"""
+#include <stdio.h>
+#include <stdlib.h>
+#include <openacc.h>
+#define N 256
+
+int main() {
+    double a[N];
+    double expected[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (double)i;
+        expected[i] = a[i] * 2.0 + 1.0;
+    }
+#pragma acc parallel loop copy(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = a[i] * 2.0 + 1.0;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != expected[i]) {
+            err = err + 1;
+        }
+    }
+    if (err != 0) {
+        printf("FAILED with %d errors\n", err);
+        return 1;
+    }
+    printf("PASSED\n");
+    return 0;
+}
+"""
+
+# 'paralel' is not an OpenACC directive: the compiler stage catches this.
+BAD_DIRECTIVE = GOOD_TEST.replace("#pragma acc parallel loop", "#pragma acc paralel loop")
+
+# The self-check block is gone: compiles, runs, exits 0 — only the
+# judge stage *could* notice the test no longer verifies anything, and
+# the paper found judges catch this class only ~15-30% of the time, so
+# expect this one to slip through (that blind spot is a key finding).
+NO_CHECK = GOOD_TEST.replace(
+    """    if (err != 0) {
+        printf("FAILED with %d errors\\n", err);
+        return 1;
+    }
+""",
+    "",
+)
+
+
+def main() -> None:
+    validator = TestsuiteValidator(flavor="acc", judge_kind="direct")
+    report = validator.validate_sources(
+        {
+            "vector_scale.c": GOOD_TEST,
+            "bad_directive.c": BAD_DIRECTIVE,
+            "no_self_check.c": NO_CHECK,
+        }
+    )
+
+    print("=== verdicts ===")
+    for judged in report.files:
+        marker = "PASS" if judged.is_valid else "FAIL"
+        print(f"[{marker}] {judged.name}")
+        print(f"        stage:  {judged.stage}")
+        print(f"        reason: {judged.reason}")
+
+    print("\n=== pipeline summary ===")
+    for key, value in report.summary().items():
+        print(f"  {key}: {value}")
+    if report.stats is not None:
+        print(f"  judge calls saved by early exit: {report.stats.judge_invocations_saved}")
+
+
+if __name__ == "__main__":
+    main()

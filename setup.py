@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the environment ships setuptools 65 without the `wheel` package, so the
+PEP 660 editable path is unavailable)."""
+
+from setuptools import setup
+
+setup()

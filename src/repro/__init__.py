@@ -1,0 +1,22 @@
+"""LLM4VV reproduction: LLM-as-a-Judge for compiler V&V testsuites.
+
+Public API (see README for the tour):
+
+* :class:`repro.core.TestsuiteValidator` — the paper's end product: a
+  compile → execute → LLM-judge validation pipeline behind one call;
+* :mod:`repro.corpus` — synthetic OpenACC/OpenMP V&V test generation;
+* :mod:`repro.probing` — negative probing (the five issue types);
+* :mod:`repro.compiler` / :mod:`repro.runtime` — the simulated
+  toolchain and execution substrate;
+* :mod:`repro.llm` / :mod:`repro.judge` — the simulated
+  deepseek-coder-33B judge and the three prompting strategies;
+* :mod:`repro.pipeline` — the staged, parallel validation pipeline;
+* :mod:`repro.metrics` — per-issue accuracy, overall accuracy, bias;
+* :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+from repro.core import JudgedFile, TestsuiteValidator, ValidationReport
+
+__version__ = "1.0.0"
+
+__all__ = ["TestsuiteValidator", "ValidationReport", "JudgedFile", "__version__"]

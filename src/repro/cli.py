@@ -1,0 +1,150 @@
+"""Command-line interface: ``llm4vv``.
+
+Subcommands:
+
+* ``validate <files...>`` — run the validation pipeline on source files;
+* ``generate`` — emit a synthetic V&V corpus to a directory;
+* ``probe`` — apply negative probing to a saved suite;
+* ``experiment <tableN|figN|all>`` — regenerate paper artifacts;
+* ``report`` — write EXPERIMENTS.md (paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="llm4vv",
+        description="LLM-as-a-Judge validation of OpenACC/OpenMP compiler tests",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="validate candidate test files")
+    p_validate.add_argument("files", nargs="+", help="source files to validate")
+    p_validate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
+    p_validate.add_argument("--judge", choices=("direct", "indirect"), default="direct")
+    p_validate.add_argument("--no-early-exit", action="store_true")
+    p_validate.add_argument("--workers", type=int, default=2)
+
+    p_generate = sub.add_parser("generate", help="generate a synthetic V&V corpus")
+    p_generate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
+    p_generate.add_argument("--count", type=int, default=50)
+    p_generate.add_argument("--languages", default="c,cpp")
+    p_generate.add_argument("--seed", type=int, default=1234)
+    p_generate.add_argument("--out", default="corpus-out")
+
+    p_probe = sub.add_parser("probe", help="negative-probe a saved suite")
+    p_probe.add_argument("suite", help="directory produced by 'generate'")
+    p_probe.add_argument("--seed", type=int, default=42)
+    p_probe.add_argument("--out", default="probed-out")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("artifact", help="table1..table9, fig3..fig6, or 'all'")
+    p_exp.add_argument("--scale", choices=("paper", "small", "tiny"), default="small")
+    p_exp.add_argument("--seed", type=int, default=20240822)
+
+    p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p_report.add_argument("--scale", choices=("paper", "small", "tiny"), default="paper")
+    p_report.add_argument("--out", default="EXPERIMENTS.md")
+
+    args = parser.parse_args(argv)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "probe":
+        return _cmd_probe(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core import TestsuiteValidator
+
+    sources = {}
+    for path in args.files:
+        sources[Path(path).name] = Path(path).read_text()
+    validator = TestsuiteValidator(
+        flavor=args.flavor,
+        judge_kind=args.judge,
+        early_exit=not args.no_early_exit,
+        workers=args.workers,
+    )
+    report = validator.validate_sources(sources)
+    for judged in report.files:
+        marker = "PASS" if judged.is_valid else "FAIL"
+        print(f"[{marker}] {judged.name} ({judged.stage}): {judged.reason}")
+    summary = report.summary()
+    print(f"\n{summary['valid']}/{summary['total']} files judged valid")
+    return 0 if not report.invalid_files else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.corpus.generator import CorpusGenerator
+    from repro.corpus.suite import TestSuite
+
+    languages = tuple(args.languages.split(","))
+    generator = CorpusGenerator(seed=args.seed)
+    files = generator.generate(args.flavor, args.count, languages=languages)
+    suite = TestSuite(f"{args.flavor}-generated", args.flavor, files)
+    out = suite.save(args.out)
+    print(f"wrote {len(files)} tests to {out}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.corpus.suite import TestSuite
+    from repro.probing.prober import NegativeProber
+
+    suite = TestSuite.load(args.suite)
+    probed = NegativeProber(seed=args.seed).probe(suite)
+    out_suite = TestSuite(probed.name, probed.model, list(probed))
+    out = out_suite.save(args.out)
+    counts = probed.issue_counts()
+    print(f"wrote {len(probed)} probed tests to {out}")
+    print("issue counts:", {k: v for k, v in counts.items() if v})
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, Experiments
+
+    exp = Experiments(ExperimentConfig(scale=args.scale, seed=args.seed))
+    names = (
+        [f"table{i}" for i in range(1, 10)] + [f"fig{i}" for i in range(3, 7)]
+        if args.artifact == "all"
+        else [args.artifact]
+    )
+    for name in names:
+        method = getattr(exp, name, None)
+        if method is None:
+            print(f"unknown artifact {name!r}", file=sys.stderr)
+            return 2
+        print(method().text)
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, Experiments
+    from repro.experiments.report import write_experiments_md
+
+    exp = Experiments(ExperimentConfig(scale=args.scale))
+    path = write_experiments_md(exp, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Simulated compiler substrate for directive-based parallel programs.
+
+This package implements a small but genuine compiler front-end for the
+C/C++ subset used by OpenACC/OpenMP validation & verification (V&V)
+testsuites, plus a light Fortran front-end.  It is the substrate the
+LLM4VV validation pipeline compiles candidate tests with:
+
+* :mod:`repro.compiler.lexer` — tokenizer (C subset, comments, pragmas);
+* :mod:`repro.compiler.preprocessor` — ``#include``/``#define`` handling;
+* :mod:`repro.compiler.cparser` — recursive-descent parser producing an AST;
+* :mod:`repro.compiler.semantic` — symbol tables and semantic checks;
+* :mod:`repro.compiler.pragma` — ``#pragma acc`` / ``#pragma omp`` parsing;
+* :mod:`repro.compiler.openacc_spec` / :mod:`repro.compiler.openmp_spec`
+  — directive and clause validity tables;
+* :mod:`repro.compiler.fortran` — Fortran-lite front-end;
+* :mod:`repro.compiler.driver` — the user-facing :class:`Compiler` that
+  emits return codes and diagnostics like a real driver.
+
+The front-end is deliberately strict about exactly the defect classes
+negative probing introduces (unbalanced brackets, undeclared
+identifiers, malformed directives, non-C input) because those are the
+defects any conforming compiler rejects.
+"""
+
+from repro.compiler.diagnostics import Diagnostic, DiagnosticEngine, Severity
+from repro.compiler.driver import CompileResult, Compiler, detect_language
+from repro.compiler.lexer import Lexer, LexerError, Token, TokenKind
+
+__all__ = [
+    "Compiler",
+    "CompileResult",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "Severity",
+    "Lexer",
+    "LexerError",
+    "Token",
+    "TokenKind",
+    "detect_language",
+]

@@ -1,0 +1,394 @@
+"""AST node definitions for the C subset and for directive constructs.
+
+Nodes are plain dataclasses; every node carries the source location of
+its first token so semantic analysis and the interpreter can produce
+located diagnostics and runtime errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.compiler.diagnostics import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """A C type: base name, pointer depth, optional array dimensions.
+
+    ``base`` is the canonical spelling (``int``, ``double``, ``float``,
+    ``char``, ``void``, ``long``, ``unsigned int``, ...).  The model is
+    deliberately structural, not nominal — enough for the corpus and for
+    catching the semantic defects negative probing injects.
+    """
+
+    base: str
+    pointers: int = 0
+    const: bool = False
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.pointers == 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointers > 0
+
+    @property
+    def is_floating(self) -> bool:
+        return self.pointers == 0 and self.base in ("float", "double", "long double")
+
+    @property
+    def is_integral(self) -> bool:
+        return self.pointers == 0 and not self.is_floating and self.base != "void"
+
+    def pointee(self) -> "CType":
+        if self.pointers == 0:
+            raise ValueError(f"{self} is not a pointer type")
+        return CType(self.base, self.pointers - 1, self.const)
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.pointers + 1, self.const)
+
+    def __str__(self) -> str:
+        return ("const " if self.const else "") + self.base + "*" * self.pointers
+
+
+INT = CType("int")
+DOUBLE = CType("double")
+FLOAT = CType("float")
+CHAR = CType("char")
+VOID = CType("void")
+BOOL = CType("int")  # _Bool folds to int in this model
+SIZE_T = CType("unsigned long")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    location: SourceLocation
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    text: str = ""
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    text: str = ""
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: str
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-', '+', '!', '~', '*', '&', '++', '--'
+    operand: Expr
+    prefix: bool = True
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assignment(Expr):
+    op: str  # '=', '+=', '-=', ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    member: str
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class CommaExpr(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class InitList(Expr):
+    """Brace-enclosed initializer list ``{1, 2, 3}``."""
+
+    items: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    location: SourceLocation
+
+
+@dataclass
+class Declarator:
+    """One declared entity inside a declaration."""
+
+    name: str
+    ctype: CType
+    array_dims: list[Optional[Expr]] = field(default_factory=list)
+    init: Optional[Expr] = None
+    location: Optional[SourceLocation] = None
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.array_dims)
+
+
+@dataclass
+class Declaration(Stmt):
+    declarators: list[Declarator] = field(default_factory=list)
+    storage: Optional[str] = None  # 'static', 'extern', ...
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None  # None => empty statement ';'
+
+
+@dataclass
+class Compound(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[Declaration, ExprStmt]] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class DirectiveStmt(Stmt):
+    """A parsed ``#pragma acc``/``#pragma omp`` directive.
+
+    ``directive`` is a :class:`repro.compiler.pragma.Directive`;
+    ``construct`` is the statement the directive applies to (``None``
+    for standalone directives such as ``acc update`` or ``omp barrier``).
+    """
+
+    directive: object = None
+    construct: Optional[Stmt] = None
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+    array: bool = False
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Optional[Compound]  # None for prototypes
+    location: SourceLocation
+    variadic: bool = False
+
+
+@dataclass
+class TranslationUnit:
+    filename: str
+    functions: list[FunctionDef] = field(default_factory=list)
+    globals: list[Declaration] = field(default_factory=list)
+    includes: list[str] = field(default_factory=list)
+    defines: dict[str, str] = field(default_factory=dict)
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for fn in self.functions:
+            if fn.name == name and fn.body is not None:
+                return fn
+        return None
+
+
+def walk_statements(stmt: Stmt):
+    """Yield ``stmt`` and every statement nested inside it, pre-order."""
+    yield stmt
+    if isinstance(stmt, Compound):
+        for child in stmt.body:
+            yield from walk_statements(child)
+    elif isinstance(stmt, If):
+        yield from walk_statements(stmt.then)
+        if stmt.otherwise is not None:
+            yield from walk_statements(stmt.otherwise)
+    elif isinstance(stmt, (While, DoWhile)):
+        yield from walk_statements(stmt.body)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            yield from walk_statements(stmt.init)
+        yield from walk_statements(stmt.body)
+    elif isinstance(stmt, DirectiveStmt) and stmt.construct is not None:
+        yield from walk_statements(stmt.construct)
+
+
+def walk_expressions(node):
+    """Yield every expression nested in a statement or expression."""
+    if isinstance(node, Expr):
+        yield node
+        if isinstance(node, UnaryOp):
+            yield from walk_expressions(node.operand)
+        elif isinstance(node, BinaryOp):
+            yield from walk_expressions(node.left)
+            yield from walk_expressions(node.right)
+        elif isinstance(node, Assignment):
+            yield from walk_expressions(node.target)
+            yield from walk_expressions(node.value)
+        elif isinstance(node, Conditional):
+            yield from walk_expressions(node.cond)
+            yield from walk_expressions(node.then)
+            yield from walk_expressions(node.otherwise)
+        elif isinstance(node, Call):
+            for arg in node.args:
+                yield from walk_expressions(arg)
+        elif isinstance(node, Index):
+            yield from walk_expressions(node.base)
+            yield from walk_expressions(node.index)
+        elif isinstance(node, Member):
+            yield from walk_expressions(node.base)
+        elif isinstance(node, Cast):
+            yield from walk_expressions(node.operand)
+        elif isinstance(node, SizeOf) and node.operand is not None:
+            yield from walk_expressions(node.operand)
+        elif isinstance(node, CommaExpr):
+            for part in node.parts:
+                yield from walk_expressions(part)
+        elif isinstance(node, InitList):
+            for item in node.items:
+                yield from walk_expressions(item)
+        return
+    if isinstance(node, Stmt):
+        for sub in walk_statements(node):
+            for expr in _statement_expressions(sub):
+                yield from walk_expressions(expr)
+
+
+def _statement_expressions(stmt: Stmt):
+    if isinstance(stmt, ExprStmt) and stmt.expr is not None:
+        yield stmt.expr
+    elif isinstance(stmt, Declaration):
+        for decl in stmt.declarators:
+            if decl.init is not None:
+                yield decl.init
+            for dim in decl.array_dims:
+                if dim is not None:
+                    yield dim
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, (While, DoWhile)):
+        yield stmt.cond
+    elif isinstance(stmt, For):
+        if stmt.cond is not None:
+            yield stmt.cond
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        yield stmt.value

@@ -1,0 +1,132 @@
+"""Compiler diagnostics: severities, messages, and the diagnostic engine.
+
+The driver renders collected diagnostics into the ``stderr`` text that a
+real compiler would print, which is in turn what the agent-based LLM
+judge receives inside its prompt.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Severity levels, ordered so ``max()`` picks the worst."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+    FATAL = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A location in a source file (1-based line/column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One compiler message.
+
+    ``code`` is a short machine-readable identifier (e.g. ``undeclared``,
+    ``unbalanced-brace``, ``bad-directive``) used by tests and by the
+    experiment analysis to categorize why a file was rejected.
+    """
+
+    severity: Severity
+    message: str
+    location: SourceLocation | None = None
+    code: str = "generic"
+
+    def render(self) -> str:
+        """Render the diagnostic the way a driver prints it."""
+        loc = f"{self.location}: " if self.location is not None else ""
+        return f"{loc}{self.severity.label}: {self.message} [-W{self.code}]"
+
+
+class TooManyErrors(Exception):
+    """Raised internally when the error limit is hit (fatal stop)."""
+
+
+@dataclass
+class DiagnosticEngine:
+    """Collects diagnostics during a compilation.
+
+    Mirrors the behaviour of clang/nvc drivers: compilation continues
+    after recoverable errors (to report several problems at once) but
+    aborts after ``error_limit`` errors.
+    """
+
+    error_limit: int = 20
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        severity: Severity,
+        message: str,
+        location: SourceLocation | None = None,
+        code: str = "generic",
+    ) -> None:
+        self.diagnostics.append(Diagnostic(severity, message, location, code))
+        if severity >= Severity.ERROR and self.error_count >= self.error_limit:
+            raise TooManyErrors(f"too many errors emitted ({self.error_count})")
+
+    def note(self, message: str, location: SourceLocation | None = None, code: str = "note") -> None:
+        self.emit(Severity.NOTE, message, location, code)
+
+    def warn(self, message: str, location: SourceLocation | None = None, code: str = "warning") -> None:
+        self.emit(Severity.WARNING, message, location, code)
+
+    def error(self, message: str, location: SourceLocation | None = None, code: str = "error") -> None:
+        self.emit(Severity.ERROR, message, location, code)
+
+    def fatal(self, message: str, location: SourceLocation | None = None, code: str = "fatal") -> None:
+        self.emit(Severity.FATAL, message, location, code)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity >= Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return self.error_count > 0
+
+    def codes(self) -> list[str]:
+        """All distinct diagnostic codes, in first-seen order."""
+        seen: list[str] = []
+        for d in self.diagnostics:
+            if d.code not in seen:
+                seen.append(d.code)
+        return seen
+
+    def render_stderr(self) -> str:
+        """Render all diagnostics plus a summary line, driver style."""
+        lines = [d.render() for d in self.diagnostics]
+        if self.has_errors:
+            lines.append(
+                f"{self.error_count} error{'s' if self.error_count != 1 else ''} generated."
+            )
+        elif self.warning_count:
+            lines.append(
+                f"{self.warning_count} warning{'s' if self.warning_count != 1 else ''} generated."
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.diagnostics.clear()

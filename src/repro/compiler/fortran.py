@@ -1,0 +1,491 @@
+"""Fortran-lite front-end for the OpenACC V&V Fortran tests.
+
+The OpenACC corpus contains a small set of free-form Fortran tests.
+Rather than duplicating the execution substrate, this front-end
+translates the restricted Fortran subset the corpus uses into the same
+AST the C parser produces, so semantic analysis and the interpreter are
+shared.  Supported:
+
+* ``program`` / ``end program`` units, ``implicit none``;
+* type declarations ``integer :: i``, ``real(8) :: a(N)``,
+  ``integer, parameter :: n = 100`` with initializers;
+* assignment, ``do``/``end do``, block and logical ``if``,
+  ``print *, ...``, ``stop [code]``;
+* ``!$acc``/``!$omp`` directive sentinels (translated to the pragma
+  grammar and validated by the same spec tables);
+* Fortran operators (``.and.``, ``/=``, ...) mapped to C operators.
+
+Errors mirror a Fortran compiler's: unbalanced ``do``/``end do`` or a
+missing ``end program`` produce ``unbalanced-block`` errors — the
+Fortran analog of C's unbalanced braces.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.compiler import astnodes as ast
+from repro.compiler.cparser import Parser
+from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
+from repro.compiler.lexer import Lexer, TokenKind
+
+_TYPE_MAP = {
+    "integer": ast.INT,
+    "real": ast.FLOAT,
+    "real(4)": ast.FLOAT,
+    "real(8)": ast.DOUBLE,
+    "double precision": ast.DOUBLE,
+    "logical": ast.INT,
+}
+
+_OPERATOR_MAP = [
+    (r"\.and\.", "&&"),
+    (r"\.or\.", "||"),
+    (r"\.not\.", "!"),
+    (r"\.eqv\.", "=="),
+    (r"\.neqv\.", "!="),
+    (r"\.eq\.", "=="),
+    (r"\.ne\.", "!="),
+    (r"\.lt\.", "<"),
+    (r"\.le\.", "<="),
+    (r"\.gt\.", ">"),
+    (r"\.ge\.", ">="),
+    (r"/=", "!="),
+    (r"\.true\.", "1"),
+    (r"\.false\.", "0"),
+]
+
+#: Fortran intrinsics mapped to interpreter builtins.
+_INTRINSIC_MAP = {
+    "abs": "fabs",
+    "sqrt": "sqrt",
+    "max": "fmax",
+    "min": "fmin",
+    "mod": "fmod",
+    "real": "__to_real",
+    "int": "__to_int",
+    "dble": "__to_real",
+}
+
+
+@dataclass
+class _Line:
+    number: int
+    text: str
+
+
+class FortranFrontEnd:
+    """Translate one Fortran source file into a C-style TranslationUnit."""
+
+    def __init__(self, diags: DiagnosticEngine, filename: str = "<input>"):
+        self.diags = diags
+        self.filename = filename
+        self.arrays: set[str] = set()
+        self.declared: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def parse(self, source: str) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(filename=self.filename)
+        lines = self._logical_lines(source)
+        body, has_program, has_end = self._parse_program(lines)
+        if not has_program:
+            self.diags.error(
+                "missing 'program' statement (not a Fortran main program)",
+                SourceLocation(self.filename, 1, 1),
+                code="no-main",
+            )
+        if has_program and not has_end:
+            self.diags.error(
+                "missing 'end program' (unbalanced program unit)",
+                SourceLocation(self.filename, max((l.number for l in lines), default=1), 1),
+                code="unbalanced-block",
+            )
+        loc = SourceLocation(self.filename, 1, 1)
+        # implicit 'return 0' at the end, like END PROGRAM
+        body.append(ast.Return(loc, ast.IntLiteral(loc, 0, "0")))
+        main = ast.FunctionDef(
+            name="main",
+            return_type=ast.INT,
+            params=[],
+            body=ast.Compound(loc, body),
+            location=loc,
+        )
+        unit.functions.append(main)
+        return unit
+
+    # ------------------------------------------------------------------
+
+    def _logical_lines(self, source: str) -> list[_Line]:
+        """Strip comments, join ``&`` continuations, keep directive lines."""
+        out: list[_Line] = []
+        pending = ""
+        pending_no = 0
+        for idx, raw in enumerate(source.splitlines(), start=1):
+            text = raw.rstrip()
+            stripped = text.strip()
+            is_directive = bool(re.match(r"!\$(acc|omp)\b", stripped, re.IGNORECASE))
+            if not is_directive:
+                # remove trailing comments (outside strings; corpus avoids '!' in strings)
+                bang = text.find("!")
+                if bang >= 0:
+                    text = text[:bang].rstrip()
+                    stripped = text.strip()
+            if not stripped:
+                continue
+            if pending:
+                text = pending + " " + stripped.lstrip("&").strip()
+                stripped = text.strip()
+            else:
+                pending_no = idx
+            if stripped.endswith("&"):
+                pending = stripped.rstrip("&").strip()
+                continue
+            out.append(_Line(pending_no if pending else idx, stripped))
+            pending = ""
+        if pending:
+            out.append(_Line(pending_no, pending))
+        return out
+
+    def _loc(self, line: _Line) -> SourceLocation:
+        return SourceLocation(self.filename, line.number, 1)
+
+    # ------------------------------------------------------------------
+
+    def _parse_program(self, lines: list[_Line]) -> tuple[list[ast.Stmt], bool, bool]:
+        body: list[ast.Stmt] = []
+        has_program = False
+        has_end = False
+        stack: list[tuple[str, list[ast.Stmt], object]] = []  # (kind, stmt-list, node)
+        current = body
+        pending_directive: ast.DirectiveStmt | None = None
+        seen_exec = False
+
+        def push_stmt(stmt: ast.Stmt | None) -> None:
+            nonlocal pending_directive
+            if stmt is None:
+                return
+            if pending_directive is not None:
+                pending_directive.construct = stmt
+                current.append(pending_directive)
+                pending_directive = None
+            else:
+                current.append(stmt)
+
+        for line in lines:
+            loc = self._loc(line)
+            low = line.text.lower()
+
+            if re.match(r"!\$(acc|omp)\b", low):
+                directive_stmt = self._parse_directive_line(line)
+                if directive_stmt is not None:
+                    from repro.compiler import openacc_spec, openmp_spec
+
+                    d = directive_stmt.directive
+                    spec_mod = openacc_spec if d.model == "acc" else openmp_spec  # type: ignore[union-attr]
+                    spec = spec_mod.DIRECTIVES.get(d.name)  # type: ignore[union-attr]
+                    if spec is not None and spec.standalone:
+                        current.append(directive_stmt)
+                    elif low.startswith(("!$acc end", "!$omp end")):
+                        current.append(directive_stmt)
+                    else:
+                        pending_directive = directive_stmt
+                continue
+
+            if pending_directive is not None and re.match(r"(end\s*do|end\s*if|else)", low):
+                self.diags.error(
+                    "directive must be followed by a do loop or block",
+                    loc,
+                    code="directive-needs-construct",
+                )
+                current.append(pending_directive)
+                pending_directive = None
+
+            if re.match(r"program\b", low):
+                has_program = True
+                continue
+            if re.match(r"end\s*program\b|^end$", low):
+                has_end = True
+                continue
+            if re.match(r"implicit\s+none\b", low):
+                continue
+            if re.match(r"use\s+\w+", low):
+                continue
+
+            m = re.match(r"(integer|real(\(\d\))?|double\s+precision|logical)\s*(,\s*parameter)?\s*::\s*(.+)", low)
+            if m:
+                if seen_exec:
+                    self.diags.error(
+                        "declaration after executable statement",
+                        loc,
+                        code="late-declaration",
+                    )
+                push_stmt(self._parse_declaration(line, loc))
+                continue
+
+            seen_exec = True
+
+            m = re.match(r"do\s+(\w+)\s*=\s*(.+?)\s*,\s*(.+?)(\s*,\s*(.+))?$", low)
+            if m:
+                for_stmt = self._parse_do(line, loc, m)
+                if for_stmt is None:
+                    continue
+                push_stmt(for_stmt)
+                stack.append(("do", current, for_stmt))
+                current = for_stmt.body.body  # type: ignore[union-attr]
+                continue
+            if re.match(r"end\s*do\b", low):
+                if not stack or stack[-1][0] != "do":
+                    self.diags.error("'end do' without matching 'do'", loc, code="unbalanced-block")
+                    continue
+                _, current, _node = stack.pop()
+                continue
+
+            m = re.match(r"if\s*\((.+)\)\s*then$", low)
+            if m:
+                cond = self._parse_expr(m.group(1), loc)
+                if cond is None:
+                    continue
+                if_stmt = ast.If(loc, cond, ast.Compound(loc, []), None)
+                push_stmt(if_stmt)
+                stack.append(("if", current, if_stmt))
+                current = if_stmt.then.body  # type: ignore[union-attr]
+                continue
+            if re.match(r"else\s*$", low):
+                if not stack or stack[-1][0] != "if":
+                    self.diags.error("'else' without matching 'if'", loc, code="unbalanced-block")
+                    continue
+                _, _, node = stack[-1]
+                assert isinstance(node, ast.If)
+                node.otherwise = ast.Compound(loc, [])
+                current = node.otherwise.body
+                continue
+            if re.match(r"end\s*if\b", low):
+                if not stack or stack[-1][0] != "if":
+                    self.diags.error("'end if' without matching 'if'", loc, code="unbalanced-block")
+                    continue
+                _, current, _node = stack.pop()
+                continue
+
+            m = re.match(r"if\s*\((.+)\)\s*(.+)$", low)
+            if m and not m.group(2).strip().startswith("then"):
+                cond = self._parse_expr(m.group(1), loc)
+                inner = self._parse_simple_statement(m.group(2).strip(), loc)
+                if cond is not None and inner is not None:
+                    push_stmt(ast.If(loc, cond, inner, None))
+                continue
+
+            stmt = self._parse_simple_statement(line.text, loc)
+            push_stmt(stmt)
+
+        if pending_directive is not None:
+            self.diags.error(
+                "directive at end of program without an associated construct",
+                pending_directive.location,
+                code="directive-needs-construct",
+            )
+        for kind, _, node in stack:
+            self.diags.error(
+                f"unterminated '{kind}' block (missing 'end {kind}')",
+                getattr(node, "location", SourceLocation(self.filename, 1, 1)),
+                code="unbalanced-block",
+            )
+        return body, has_program, has_end
+
+    # ------------------------------------------------------------------
+
+    def _parse_declaration(self, line: _Line, loc: SourceLocation) -> ast.Declaration | None:
+        low = line.text
+        m = re.match(
+            r"(?i)(integer|real(\(\d\))?|double\s+precision|logical)\s*(,\s*parameter)?\s*::\s*(.+)",
+            low,
+        )
+        assert m is not None
+        base = re.sub(r"\s+", " ", m.group(1).lower())
+        ctype = _TYPE_MAP.get(base, ast.DOUBLE)
+        declarators: list[ast.Declarator] = []
+        for part in _split_top_commas(m.group(4)):
+            part = part.strip()
+            dm = re.match(r"(\w+)\s*(\(([^)]*)\))?\s*(=\s*(.+))?$", part)
+            if dm is None:
+                self.diags.error(f"malformed declaration entity: {part!r}", loc, code="syntax")
+                continue
+            name = dm.group(1)
+            dims: list[ast.Expr | None] = []
+            if dm.group(3) is not None:
+                self.arrays.add(name.lower())
+                for dim_text in dm.group(3).split(","):
+                    dim = self._parse_expr(dim_text, loc)
+                    dims.append(dim)
+            init = None
+            if dm.group(5) is not None:
+                init = self._parse_expr(dm.group(5), loc)
+            self.declared.add(name.lower())
+            declarators.append(ast.Declarator(name.lower(), ctype, dims, init, loc))
+        if not declarators:
+            return None
+        return ast.Declaration(location=loc, declarators=declarators)
+
+    def _parse_do(self, line: _Line, loc: SourceLocation, m: "re.Match[str]") -> ast.For | None:
+        var = m.group(1)
+        start = self._parse_expr(m.group(2), loc)
+        stop = self._parse_expr(m.group(3), loc)
+        step = self._parse_expr(m.group(5), loc) if m.group(5) else None
+        if start is None or stop is None:
+            return None
+        ident = ast.Identifier(loc, var)
+        init = ast.ExprStmt(loc, ast.Assignment(loc, "=", ident, start))
+        cond = ast.BinaryOp(loc, "<=", ast.Identifier(loc, var), stop)
+        if step is not None:
+            step_expr: ast.Expr = ast.Assignment(
+                loc, "+=", ast.Identifier(loc, var), step
+            )
+        else:
+            step_expr = ast.UnaryOp(loc, "++", ast.Identifier(loc, var), prefix=False)
+        return ast.For(loc, init, cond, step_expr, ast.Compound(loc, []))
+
+    def _parse_simple_statement(self, text: str, loc: SourceLocation) -> ast.Stmt | None:
+        low = text.lower().strip()
+        if low in ("continue", "cycle"):
+            return ast.Continue(loc) if low == "cycle" else ast.ExprStmt(loc, None)
+        if low == "exit":
+            return ast.Break(loc)
+        m = re.match(r"stop\s*(\d+)?$", low)
+        if m:
+            code = int(m.group(1)) if m.group(1) else 0
+            return ast.Return(loc, ast.IntLiteral(loc, code, str(code)))
+        m = re.match(r"print\s*\*\s*,\s*(.+)$", text, re.IGNORECASE)
+        if m:
+            args: list[ast.Expr] = []
+            for part in _split_top_commas(m.group(1)):
+                expr = self._parse_expr(part, loc)
+                if expr is not None:
+                    args.append(expr)
+            return ast.ExprStmt(loc, ast.Call(loc, "__fortran_print", args))
+        m = re.match(r"call\s+(\w+)\s*(\((.*)\))?$", text, re.IGNORECASE)
+        if m:
+            args = []
+            if m.group(3):
+                for part in _split_top_commas(m.group(3)):
+                    expr = self._parse_expr(part, loc)
+                    if expr is not None:
+                        args.append(expr)
+            return ast.ExprStmt(loc, ast.Call(loc, m.group(1).lower(), args))
+        # assignment
+        m = re.match(r"(.+?)=(.+)$", text)
+        if m and "==" not in text.split("=")[0]:
+            target = self._parse_expr(m.group(1), loc)
+            value = self._parse_expr(m.group(2), loc)
+            if target is None or value is None:
+                return None
+            return ast.ExprStmt(loc, ast.Assignment(loc, "=", target, value))
+        self.diags.error(f"unrecognized Fortran statement: {text.strip()!r}", loc, code="syntax")
+        return None
+
+    def _parse_directive_line(self, line: _Line) -> ast.DirectiveStmt | None:
+        loc = self._loc(line)
+        text = line.text.strip()
+        m = re.match(r"!\$(acc|omp)\s+(.*)$", text, re.IGNORECASE)
+        if m is None:
+            self.diags.error(f"malformed directive sentinel: {text!r}", loc, code="bad-directive")
+            return None
+        model = m.group(1).lower()
+        body = m.group(2)
+        # Fortran 'end' directives close block constructs; treat as no-ops
+        # once validated as known names.
+        if body.lower().startswith("end"):
+            return ast.DirectiveStmt(loc, None, None) if False else None
+        from repro.compiler import openacc_spec, openmp_spec
+        from repro.compiler.pragma import parse_directive
+
+        tables = openacc_spec if model == "acc" else openmp_spec
+        # Fortran loop directives use 'do' instead of 'for'
+        body = re.sub(r"\bdo\b", "loop" if model == "acc" else "do", body, flags=re.IGNORECASE)
+        if model == "omp":
+            body = re.sub(r"\bdo\b", "for", body, flags=re.IGNORECASE)
+        directive = parse_directive(
+            f"#pragma {model} {body}",
+            loc,
+            self.diags,
+            tables.DIRECTIVE_NAMES,
+            tables.CLAUSE_NAMES,
+        )
+        if directive is None:
+            return None
+        return ast.DirectiveStmt(loc, directive, None)
+
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self, text: str, loc: SourceLocation) -> ast.Expr | None:
+        """Parse a Fortran expression by translating it to C and reusing
+        the C expression parser, then rewriting array refs."""
+        c_text = text.strip()
+        for pattern, repl in _OPERATOR_MAP:
+            c_text = re.sub(pattern, repl, c_text, flags=re.IGNORECASE)
+        # Fortran real literals like 1.0d0 -> 1.0e0
+        c_text = re.sub(r"(\d+\.?\d*)[dD]([+-]?\d+)", r"\1e\2", c_text)
+        diags = DiagnosticEngine()
+        tokens = Lexer(c_text, self.filename, diags).tokenize()
+        if diags.has_errors:
+            self.diags.error(f"malformed expression: {text.strip()!r}", loc, code="syntax")
+            return None
+        parser = Parser(tokens, diags, self.filename)
+        expr = parser.parse_expression()
+        if expr is None or diags.has_errors or not parser._at_eof():
+            self.diags.error(f"malformed expression: {text.strip()!r}", loc, code="syntax")
+            return None
+        return self._rewrite(expr, loc)
+
+    def _rewrite(self, expr: ast.Expr, loc: SourceLocation) -> ast.Expr:
+        """Rewrite parsed-as-C expression: array refs and intrinsics."""
+        if isinstance(expr, ast.Call):
+            name = expr.callee.lower()
+            args = [self._rewrite(a, loc) for a in expr.args]
+            if name in self.arrays:
+                base: ast.Expr = ast.Identifier(expr.location, name)
+                for arg in args:
+                    # Fortran is 1-based; shift to 0-based
+                    shifted = ast.BinaryOp(expr.location, "-", arg, ast.IntLiteral(expr.location, 1, "1"))
+                    base = ast.Index(expr.location, base, shifted)
+                return base
+            mapped = _INTRINSIC_MAP.get(name, name)
+            return ast.Call(expr.location, mapped, args)
+        if isinstance(expr, ast.Identifier):
+            return ast.Identifier(expr.location, expr.name.lower())
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(expr.location, expr.op, self._rewrite(expr.left, loc), self._rewrite(expr.right, loc))
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.location, expr.op, self._rewrite(expr.operand, loc), expr.prefix)
+        if isinstance(expr, ast.Assignment):
+            return ast.Assignment(expr.location, expr.op, self._rewrite(expr.target, loc), self._rewrite(expr.value, loc))
+        if isinstance(expr, ast.Conditional):
+            return ast.Conditional(
+                expr.location,
+                self._rewrite(expr.cond, loc),
+                self._rewrite(expr.then, loc),
+                self._rewrite(expr.otherwise, loc),
+            )
+        if isinstance(expr, ast.Index):
+            return ast.Index(expr.location, self._rewrite(expr.base, loc), self._rewrite(expr.index, loc))
+        return expr
+
+
+def _split_top_commas(text: str) -> list[str]:
+    """Split on commas not nested inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]

@@ -1,0 +1,283 @@
+"""Tokenizer for the C/C++ subset used by directive-based V&V tests.
+
+The lexer understands:
+
+* identifiers / keywords, integer and floating literals (decimal, hex,
+  suffixes), string and character literals with escapes;
+* the full C operator/punctuator set used by the corpus;
+* ``//`` and ``/* */`` comments (skipped);
+* preprocessor lines, which are captured as :attr:`TokenKind.HASH_LINE`
+  tokens so the preprocessor and pragma parser can consume them;
+* line continuations (``\\`` at end of line), required for multi-line
+  ``#pragma`` directives.
+
+Defects are reported through a :class:`~repro.compiler.diagnostics.
+DiagnosticEngine`; lexing is error-recovering (a bad character yields a
+diagnostic and is skipped) so that one stray byte does not hide later,
+more informative errors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
+
+C_KEYWORDS = frozenset(
+    """
+    auto break case char const continue default do double else enum extern
+    float for goto if inline int long register restrict return short signed
+    sizeof static struct switch typedef union unsigned void volatile while
+    _Bool bool true false class new delete public private template typename
+    namespace using
+    """.split()
+)
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    STRING_LIT = "string"
+    CHAR_LIT = "char"
+    PUNCT = "punct"
+    HASH_LINE = "hash-line"  # one full preprocessor line (text in .text)
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    @property
+    def line(self) -> int:
+        return self.location.line
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r}, L{self.location.line})"
+
+
+class LexerError(Exception):
+    """Raised for unrecoverable lexical failures (unterminated comment)."""
+
+
+# Longest-match-first punctuator table.
+_PUNCTUATORS = sorted(
+    [
+        "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+        "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+        "::", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+        "~", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+class Lexer:
+    """Streaming tokenizer over one translation unit."""
+
+    def __init__(self, source: str, filename: str = "<input>", diags: DiagnosticEngine | None = None):
+        self.source = source
+        self.filename = filename
+        self.diags = diags if diags is not None else DiagnosticEngine()
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def at_eof(self) -> bool:
+        return self.pos >= len(self.source)
+
+    # -- skipping ----------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while not self.at_eof():
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            elif ch == "/" and self._peek(1) == "/":
+                while not self.at_eof() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                closed = False
+                while not self.at_eof():
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        closed = True
+                        break
+                    self._advance()
+                if not closed:
+                    self.diags.error("unterminated /* comment", start, code="unterminated-comment")
+                    return
+            else:
+                return
+
+    # -- literal scanners ----------------------------------------------------
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and (self._peek() in "0123456789abcdefABCDEF"):
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            elif self._peek() == ".":
+                is_float = True
+                self._advance()
+            if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        # suffixes
+        while self._peek() and self._peek() in "uUlLfF":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        text = self.source[start : self.pos]
+        return Token(TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT, text, loc)
+
+    def _lex_string(self, quote: str) -> Token:
+        loc = self._loc()
+        start = self.pos
+        self._advance()  # opening quote
+        while not self.at_eof():
+            ch = self._peek()
+            if ch == "\\":
+                self._advance(2)
+                continue
+            if ch == "\n":
+                break
+            if ch == quote:
+                self._advance()
+                text = self.source[start : self.pos]
+                kind = TokenKind.STRING_LIT if quote == '"' else TokenKind.CHAR_LIT
+                return Token(kind, text, loc)
+            self._advance()
+        self.diags.error(
+            f"unterminated {'string' if quote == chr(34) else 'character'} literal",
+            loc,
+            code="unterminated-literal",
+        )
+        text = self.source[start : self.pos]
+        return Token(TokenKind.STRING_LIT, text, loc)
+
+    def _lex_hash_line(self) -> Token:
+        """Capture a whole preprocessor line (with continuations) as text."""
+        loc = self._loc()
+        start = self.pos
+        while not self.at_eof():
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                continue
+            if self._peek() == "\n":
+                break
+            self._advance()
+        text = self.source[start : self.pos]
+        # normalize continuations away so downstream sees one logical line
+        text = text.replace("\\\n", " ")
+        return Token(TokenKind.HASH_LINE, text, loc)
+
+    # -- main entry ----------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.at_eof():
+            return Token(TokenKind.EOF, "", self._loc())
+        ch = self._peek()
+        if ch == "#" and self.col == 1 or (ch == "#" and self._line_prefix_blank()):
+            return self._lex_hash_line()
+        if ch.isalpha() or ch == "_":
+            loc = self._loc()
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start : self.pos]
+            kind = TokenKind.KEYWORD if text in C_KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, loc)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string('"')
+        if ch == "'":
+            return self._lex_string("'")
+        for punct in _PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                loc = self._loc()
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, loc)
+        # Unknown byte: report, skip, continue.
+        loc = self._loc()
+        bad = self._advance()
+        self.diags.error(f"stray {bad!r} in program", loc, code="stray-character")
+        return self.next_token()
+
+    def _line_prefix_blank(self) -> bool:
+        """True if everything between the last newline and pos is blank."""
+        idx = self.pos - 1
+        while idx >= 0 and self.source[idx] != "\n":
+            if self.source[idx] not in " \t":
+                return False
+            idx -= 1
+        return True
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input, returning tokens including the final EOF."""
+        tokens: list[Token] = []
+        while True:
+            tok = self.next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(source: str, filename: str = "<input>", diags: DiagnosticEngine | None = None) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` fully."""
+    return Lexer(source, filename, diags).tokenize()

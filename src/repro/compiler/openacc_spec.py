@@ -1,0 +1,312 @@
+"""OpenACC directive and clause validity tables (OpenACC 2.7/3.x subset).
+
+The tables cover the directives and clauses exercised by the OpenACC
+V&V testsuite.  :func:`validate_directive` performs the checks a
+conforming compiler front-end performs before code generation:
+
+* the clause must be allowed on the directive;
+* data/var-list clauses must carry an argument;
+* ``reduction`` must be ``op:list`` with a known operator;
+* scalar-expression clauses (``num_gangs`` etc.) must carry an argument;
+* mutually exclusive clauses (``seq`` with ``gang``/``worker``/``vector``,
+  ``independent`` with ``seq``);
+* loop-associated directives must annotate a ``for`` loop (checked by
+  semantic analysis via :data:`LOOP_DIRECTIVES`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.diagnostics import DiagnosticEngine
+from repro.compiler.pragma import Directive
+
+# ---------------------------------------------------------------------------
+# Clause groups
+# ---------------------------------------------------------------------------
+
+DATA_CLAUSES = frozenset(
+    {"copy", "copyin", "copyout", "create", "no_create", "present",
+     "deviceptr", "attach", "delete", "detach"}
+)
+
+PRIVATE_CLAUSES = frozenset({"private", "firstprivate"})
+
+LOOP_SCHED_CLAUSES = frozenset({"gang", "worker", "vector", "seq", "auto", "independent",
+                                "collapse", "tile", "device_type"})
+
+COMPUTE_SCALAR_CLAUSES = frozenset({"num_gangs", "num_workers", "vector_length", "if",
+                                    "async", "wait", "self", "default", "device_type"})
+
+#: Clauses whose argument is a variable list and therefore mandatory.
+VAR_LIST_CLAUSES = DATA_CLAUSES | PRIVATE_CLAUSES | frozenset(
+    {"use_device", "device", "host", "link", "device_resident", "cache"}
+)
+
+#: Clauses that require a scalar argument.
+SCALAR_ARG_CLAUSES = frozenset(
+    {"num_gangs", "num_workers", "vector_length", "collapse", "tile", "if"}
+)
+
+#: Clauses that are valid with no argument.
+BARE_OK_CLAUSES = frozenset(
+    {"seq", "auto", "independent", "gang", "worker", "vector", "async",
+     "wait", "finalize", "if_present", "nohost", "read", "write", "update",
+     "capture", "self"}
+)
+
+REDUCTION_OPERATORS = frozenset({"+", "*", "max", "min", "&", "|", "^", "&&", "||"})
+
+DEFAULT_MODES = frozenset({"none", "present"})
+
+# ---------------------------------------------------------------------------
+# Directive table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectiveSpec:
+    """Validity data for one directive."""
+
+    name: str
+    kind: str  # 'compute' | 'data' | 'loop' | 'standalone' | 'declarative' | 'synchronization'
+    allowed: frozenset[str]
+    requires_loop: bool = False
+    requires_block: bool = False
+    standalone: bool = True
+    notes: str = ""
+
+
+def _spec(name: str, kind: str, allowed: set[str], **kw) -> DirectiveSpec:
+    return DirectiveSpec(name=name, kind=kind, allowed=frozenset(allowed), **kw)
+
+
+_COMPUTE_COMMON = {
+    "if", "async", "wait", "num_gangs", "num_workers", "vector_length",
+    "default", "device_type", "private", "firstprivate", "reduction",
+    "self",
+} | set(DATA_CLAUSES)
+
+_LOOP_COMMON = {
+    "collapse", "gang", "worker", "vector", "seq", "auto", "tile",
+    "device_type", "independent", "private", "reduction",
+}
+
+DIRECTIVES: dict[str, DirectiveSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("parallel", "compute", _COMPUTE_COMMON, standalone=False, requires_block=True),
+        _spec("kernels", "compute", _COMPUTE_COMMON - {"private", "firstprivate", "reduction"},
+              standalone=False, requires_block=True),
+        _spec("serial", "compute", _COMPUTE_COMMON - {"num_gangs", "num_workers", "vector_length"},
+              standalone=False, requires_block=True),
+        _spec("data", "data", {"if", "async", "wait", "default", "device_type"} | set(DATA_CLAUSES),
+              standalone=False, requires_block=True),
+        _spec("enter data", "standalone",
+              {"if", "async", "wait", "copyin", "create", "attach"}),
+        _spec("exit data", "standalone",
+              {"if", "async", "wait", "copyout", "delete", "detach", "finalize"}),
+        _spec("host_data", "data", {"use_device", "if", "if_present"},
+              standalone=False, requires_block=True),
+        _spec("loop", "loop", _LOOP_COMMON, requires_loop=True, standalone=False),
+        _spec("parallel loop", "loop", _COMPUTE_COMMON | _LOOP_COMMON,
+              requires_loop=True, standalone=False),
+        _spec("kernels loop", "loop",
+              (_COMPUTE_COMMON - {"private", "firstprivate"}) | _LOOP_COMMON,
+              requires_loop=True, standalone=False),
+        _spec("serial loop", "loop",
+              (_COMPUTE_COMMON - {"num_gangs", "num_workers", "vector_length"}) | _LOOP_COMMON,
+              requires_loop=True, standalone=False),
+        _spec("atomic", "synchronization", {"read", "write", "update", "capture"},
+              standalone=False, requires_block=False,
+              notes="applies to the following expression statement"),
+        _spec("update", "standalone",
+              {"if", "if_present", "async", "wait", "self", "host", "device", "device_type"}),
+        _spec("wait", "standalone", {"async", "if"}),
+        _spec("cache", "standalone", set(), notes="argument list parsed as clause-less"),
+        _spec("routine", "declarative", {"gang", "worker", "vector", "seq", "bind", "nohost",
+                                         "device_type"}),
+        _spec("declare", "declarative",
+              set(DATA_CLAUSES) | {"device_resident", "link"}),
+        _spec("init", "standalone", {"device_type", "device_num", "if"}),
+        _spec("shutdown", "standalone", {"device_type", "device_num", "if"}),
+        _spec("set", "standalone", {"device_type", "device_num", "default_async", "if"}),
+    ]
+}
+
+DIRECTIVE_NAMES = frozenset(DIRECTIVES)
+
+CLAUSE_NAMES = frozenset(
+    set().union(*(spec.allowed for spec in DIRECTIVES.values()))
+    | {"reduction", "bind", "device_num", "default_async", "cache"}
+)
+
+LOOP_DIRECTIVES = frozenset(n for n, s in DIRECTIVES.items() if s.requires_loop)
+BLOCK_DIRECTIVES = frozenset(n for n, s in DIRECTIVES.items() if s.requires_block)
+STANDALONE_DIRECTIVES = frozenset(n for n, s in DIRECTIVES.items() if s.standalone)
+
+#: OpenACC runtime API functions provided by ``openacc.h``.
+RUNTIME_FUNCTIONS = frozenset(
+    {
+        "acc_get_num_devices", "acc_set_device_type", "acc_get_device_type",
+        "acc_set_device_num", "acc_get_device_num", "acc_init", "acc_shutdown",
+        "acc_async_test", "acc_async_test_all", "acc_wait", "acc_wait_all",
+        "acc_get_default_async", "acc_set_default_async", "acc_on_device",
+        "acc_malloc", "acc_free", "acc_copyin", "acc_create", "acc_copyout",
+        "acc_delete", "acc_update_device", "acc_update_self", "acc_map_data",
+        "acc_unmap_data", "acc_deviceptr", "acc_hostptr", "acc_is_present",
+        "acc_memcpy_to_device", "acc_memcpy_from_device",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def validate_directive(directive: Directive, diags: DiagnosticEngine) -> bool:
+    """Validate one parsed OpenACC directive; emit diagnostics; return ok."""
+    ok = True
+    spec = DIRECTIVES.get(directive.name)
+    if spec is None:
+        diags.error(
+            f"unrecognized OpenACC directive '{directive.name}'",
+            directive.location,
+            code="bad-directive",
+        )
+        return False
+
+    seen: set[str] = set()
+    for clause in directive.clauses:
+        if clause.name not in CLAUSE_NAMES:
+            diags.error(
+                f"invalid clause '{clause.name}' on '#pragma acc {directive.name}'",
+                clause.location,
+                code="unknown-clause",
+            )
+            ok = False
+            continue
+        if clause.name not in spec.allowed and not (
+            clause.name == "reduction" and "reduction" in spec.allowed
+        ):
+            diags.error(
+                f"clause '{clause.name}' is not valid on '#pragma acc {directive.name}'",
+                clause.location,
+                code="clause-not-allowed",
+            )
+            ok = False
+            continue
+        if clause.name in seen and clause.name not in DATA_CLAUSES | {"wait", "device_type", "reduction"}:
+            diags.warn(
+                f"duplicate clause '{clause.name}' on '#pragma acc {directive.name}'",
+                clause.location,
+                code="duplicate-clause",
+            )
+        seen.add(clause.name)
+        ok &= _validate_clause_argument(directive, clause, diags)
+
+    ok &= _validate_exclusions(directive, diags)
+    return ok
+
+
+def _validate_clause_argument(directive: Directive, clause, diags: DiagnosticEngine) -> bool:
+    if clause.name in VAR_LIST_CLAUSES:
+        if not clause.argument:
+            diags.error(
+                f"clause '{clause.name}' on '#pragma acc {directive.name}' requires a variable list",
+                clause.location,
+                code="clause-needs-arg",
+            )
+            return False
+        if not clause.variables():
+            diags.error(
+                f"clause '{clause.name}' has an empty or malformed variable list",
+                clause.location,
+                code="clause-needs-arg",
+            )
+            return False
+    elif clause.name in SCALAR_ARG_CLAUSES:
+        if not clause.argument:
+            diags.error(
+                f"clause '{clause.name}' on '#pragma acc {directive.name}' requires an argument",
+                clause.location,
+                code="clause-needs-arg",
+            )
+            return False
+    elif clause.name == "reduction":
+        if not clause.argument or ":" not in clause.argument:
+            diags.error(
+                "reduction clause must have the form reduction(operator:var-list)",
+                clause.location,
+                code="bad-reduction",
+            )
+            return False
+        op = clause.argument.split(":", 1)[0].strip()
+        if op not in REDUCTION_OPERATORS:
+            diags.error(
+                f"invalid reduction operator '{op}'",
+                clause.location,
+                code="bad-reduction",
+            )
+            return False
+        if not clause.variables():
+            diags.error(
+                "reduction clause has an empty variable list",
+                clause.location,
+                code="bad-reduction",
+            )
+            return False
+    elif clause.name == "default":
+        if clause.argument not in DEFAULT_MODES:
+            diags.error(
+                f"default clause argument must be one of {sorted(DEFAULT_MODES)}, got {clause.argument!r}",
+                clause.location,
+                code="bad-default",
+            )
+            return False
+    return True
+
+
+def _validate_exclusions(directive: Directive, diags: DiagnosticEngine) -> bool:
+    ok = True
+    names = set(directive.clause_names())
+    if "seq" in names and names & {"gang", "worker", "vector", "independent"}:
+        diags.error(
+            f"'seq' may not combine with gang/worker/vector/independent on "
+            f"'#pragma acc {directive.name}'",
+            directive.location,
+            code="clause-conflict",
+        )
+        ok = False
+    if directive.name == "atomic":
+        kinds = names & {"read", "write", "update", "capture"}
+        if len(kinds) > 1:
+            diags.error(
+                "atomic directive may specify at most one of read/write/update/capture",
+                directive.location,
+                code="clause-conflict",
+            )
+            ok = False
+    if directive.name == "enter data" and not names & {"copyin", "create", "attach"}:
+        diags.error(
+            "'#pragma acc enter data' requires at least one copyin/create/attach clause",
+            directive.location,
+            code="missing-clause",
+        )
+        ok = False
+    if directive.name == "exit data" and not names & {"copyout", "delete", "detach"}:
+        diags.error(
+            "'#pragma acc exit data' requires at least one copyout/delete/detach clause",
+            directive.location,
+            code="missing-clause",
+        )
+        ok = False
+    if directive.name == "update" and not names & {"self", "host", "device"}:
+        diags.error(
+            "'#pragma acc update' requires at least one self/host/device clause",
+            directive.location,
+            code="missing-clause",
+        )
+        ok = False
+    return ok

@@ -1,0 +1,438 @@
+"""OpenMP directive and clause validity tables (OpenMP <= 4.5 subset).
+
+The paper restricts its OpenMP corpus to features at or below version
+4.5 so that the LLVM offloading compiler is fully compliant; we mirror
+that here — the table carries a ``since`` version per directive and
+:func:`validate_directive` rejects anything newer than the configured
+``max_version`` (default 4.5) with an ``unsupported-feature`` error,
+which is exactly how a partially-compliant compiler surfaces the
+problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.diagnostics import DiagnosticEngine
+from repro.compiler.pragma import Directive
+
+# ---------------------------------------------------------------------------
+# Clause groups
+# ---------------------------------------------------------------------------
+
+DATA_SHARING_CLAUSES = frozenset({"private", "firstprivate", "lastprivate", "shared", "default"})
+
+MAP_TYPES = frozenset({"to", "from", "tofrom", "alloc", "release", "delete", "always"})
+
+SCHEDULE_KINDS = frozenset({"static", "dynamic", "guided", "auto", "runtime"})
+
+REDUCTION_OPERATORS = frozenset({"+", "*", "max", "min", "&", "|", "^", "&&", "||", "-"})
+
+DEFAULT_MODES = frozenset({"shared", "none", "private", "firstprivate"})
+
+PROC_BIND_MODES = frozenset({"master", "close", "spread"})
+
+DEPEND_TYPES = frozenset({"in", "out", "inout", "sink", "source"})
+
+#: Clauses that require a variable list argument.
+VAR_LIST_CLAUSES = frozenset(
+    {"private", "firstprivate", "lastprivate", "shared", "copyin", "copyprivate",
+     "map", "is_device_ptr", "use_device_ptr", "linear", "aligned", "uniform",
+     "depend", "flush", "to", "from", "link"}
+)
+
+#: Clauses that require a scalar expression argument.
+SCALAR_ARG_CLAUSES = frozenset(
+    {"num_threads", "collapse", "safelen", "simdlen", "num_teams", "thread_limit",
+     "device", "priority", "grainsize", "num_tasks", "final", "if", "ordered_n"}
+)
+
+BARE_OK_CLAUSES = frozenset(
+    {"nowait", "untied", "mergeable", "nogroup", "ordered", "simd", "threads",
+     "seq_cst", "read", "write", "update", "capture", "parallel", "for",
+     "sections", "taskgroup", "defaultmap", "inbranch", "notinbranch"}
+)
+
+
+# ---------------------------------------------------------------------------
+# Directive table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectiveSpec:
+    name: str
+    kind: str  # 'parallel' | 'worksharing' | 'tasking' | 'device' | 'synchronization' | 'declarative' | 'simd'
+    allowed: frozenset[str]
+    since: float = 1.0  # OpenMP version introducing the directive
+    requires_loop: bool = False
+    requires_block: bool = False
+    standalone: bool = True
+
+
+def _spec(name: str, kind: str, allowed: set[str], since: float = 1.0, **kw) -> DirectiveSpec:
+    return DirectiveSpec(name=name, kind=kind, allowed=frozenset(allowed), since=since, **kw)
+
+
+_PARALLEL_CLAUSES = {"if", "num_threads", "default", "private", "firstprivate",
+                     "shared", "copyin", "reduction", "proc_bind"}
+_FOR_CLAUSES = {"private", "firstprivate", "lastprivate", "linear", "reduction",
+                "schedule", "collapse", "ordered", "nowait"}
+_SIMD_CLAUSES = {"safelen", "simdlen", "linear", "aligned", "private",
+                 "lastprivate", "reduction", "collapse"}
+_TARGET_CLAUSES = {"if", "device", "private", "firstprivate", "map", "is_device_ptr",
+                   "defaultmap", "nowait", "depend"}
+_TEAMS_CLAUSES = {"num_teams", "thread_limit", "default", "private", "firstprivate",
+                  "shared", "reduction"}
+_DISTRIBUTE_CLAUSES = {"private", "firstprivate", "lastprivate", "collapse", "dist_schedule"}
+_TASK_CLAUSES = {"if", "final", "untied", "default", "mergeable", "private",
+                 "firstprivate", "shared", "depend", "priority"}
+
+DIRECTIVES: dict[str, DirectiveSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("parallel", "parallel", _PARALLEL_CLAUSES, 1.0, standalone=False, requires_block=True),
+        _spec("for", "worksharing", _FOR_CLAUSES, 1.0, requires_loop=True, standalone=False),
+        _spec("parallel for", "worksharing", _PARALLEL_CLAUSES | _FOR_CLAUSES, 1.0,
+              requires_loop=True, standalone=False),
+        _spec("sections", "worksharing",
+              {"private", "firstprivate", "lastprivate", "reduction", "nowait"},
+              1.0, standalone=False, requires_block=True),
+        _spec("section", "worksharing", set(), 1.0, standalone=False, requires_block=True),
+        _spec("single", "worksharing",
+              {"private", "firstprivate", "copyprivate", "nowait"},
+              1.0, standalone=False, requires_block=True),
+        _spec("master", "synchronization", set(), 1.0, standalone=False, requires_block=True),
+        _spec("critical", "synchronization", {"hint"}, 1.0, standalone=False, requires_block=True),
+        _spec("barrier", "synchronization", set(), 1.0),
+        _spec("taskwait", "synchronization", set(), 3.0),
+        _spec("taskyield", "synchronization", set(), 3.1),
+        _spec("taskgroup", "synchronization", set(), 4.0, standalone=False, requires_block=True),
+        _spec("atomic", "synchronization",
+              {"read", "write", "update", "capture", "seq_cst"}, 1.0,
+              standalone=False),
+        _spec("flush", "synchronization", set(), 1.0),
+        _spec("ordered", "synchronization", {"threads", "simd", "depend"}, 1.0,
+              standalone=False, requires_block=True),
+        _spec("task", "tasking", _TASK_CLAUSES, 3.0, standalone=False, requires_block=True),
+        _spec("taskloop", "tasking",
+              _TASK_CLAUSES | {"grainsize", "num_tasks", "collapse", "nogroup",
+                               "lastprivate"},
+              4.5, requires_loop=True, standalone=False),
+        _spec("taskloop simd", "tasking",
+              _TASK_CLAUSES | _SIMD_CLAUSES | {"grainsize", "num_tasks", "nogroup"},
+              4.5, requires_loop=True, standalone=False),
+        _spec("simd", "simd", _SIMD_CLAUSES, 4.0, requires_loop=True, standalone=False),
+        _spec("for simd", "simd", _FOR_CLAUSES | _SIMD_CLAUSES, 4.0,
+              requires_loop=True, standalone=False),
+        _spec("parallel for simd", "simd",
+              _PARALLEL_CLAUSES | _FOR_CLAUSES | _SIMD_CLAUSES, 4.0,
+              requires_loop=True, standalone=False),
+        _spec("declare simd", "declarative",
+              {"simdlen", "linear", "aligned", "uniform", "inbranch", "notinbranch"}, 4.0),
+        _spec("target", "device", _TARGET_CLAUSES, 4.0, standalone=False, requires_block=True),
+        _spec("target data", "device",
+              {"if", "device", "map", "use_device_ptr"}, 4.0,
+              standalone=False, requires_block=True),
+        _spec("target enter data", "device", {"if", "device", "map", "depend", "nowait"}, 4.5),
+        _spec("target exit data", "device", {"if", "device", "map", "depend", "nowait"}, 4.5),
+        _spec("target update", "device", {"if", "device", "to", "from", "depend", "nowait"}, 4.0),
+        _spec("teams", "device", _TEAMS_CLAUSES, 4.0, standalone=False, requires_block=True),
+        _spec("distribute", "device", _DISTRIBUTE_CLAUSES, 4.0, requires_loop=True,
+              standalone=False),
+        _spec("distribute parallel for", "device",
+              _DISTRIBUTE_CLAUSES | _PARALLEL_CLAUSES | _FOR_CLAUSES - {"ordered"},
+              4.0, requires_loop=True, standalone=False),
+        _spec("distribute simd", "device", _DISTRIBUTE_CLAUSES | _SIMD_CLAUSES, 4.0,
+              requires_loop=True, standalone=False),
+        _spec("target parallel", "device", _TARGET_CLAUSES | _PARALLEL_CLAUSES, 4.5,
+              standalone=False, requires_block=True),
+        _spec("target parallel for", "device",
+              _TARGET_CLAUSES | _PARALLEL_CLAUSES | _FOR_CLAUSES, 4.5,
+              requires_loop=True, standalone=False),
+        _spec("target parallel for simd", "device",
+              _TARGET_CLAUSES | _PARALLEL_CLAUSES | _FOR_CLAUSES | _SIMD_CLAUSES, 4.5,
+              requires_loop=True, standalone=False),
+        _spec("target simd", "device", _TARGET_CLAUSES | _SIMD_CLAUSES, 4.5,
+              requires_loop=True, standalone=False),
+        _spec("target teams", "device", _TARGET_CLAUSES | _TEAMS_CLAUSES, 4.0,
+              standalone=False, requires_block=True),
+        _spec("target teams distribute", "device",
+              _TARGET_CLAUSES | _TEAMS_CLAUSES | _DISTRIBUTE_CLAUSES, 4.0,
+              requires_loop=True, standalone=False),
+        _spec("target teams distribute simd", "device",
+              _TARGET_CLAUSES | _TEAMS_CLAUSES | _DISTRIBUTE_CLAUSES | _SIMD_CLAUSES, 4.0,
+              requires_loop=True, standalone=False),
+        _spec("target teams distribute parallel for", "device",
+              _TARGET_CLAUSES | _TEAMS_CLAUSES | _DISTRIBUTE_CLAUSES
+              | _PARALLEL_CLAUSES | _FOR_CLAUSES - {"ordered"},
+              4.0, requires_loop=True, standalone=False),
+        _spec("target teams distribute parallel for simd", "device",
+              _TARGET_CLAUSES | _TEAMS_CLAUSES | _DISTRIBUTE_CLAUSES
+              | _PARALLEL_CLAUSES | _FOR_CLAUSES | _SIMD_CLAUSES - {"ordered"},
+              4.0, requires_loop=True, standalone=False),
+        _spec("declare target", "declarative", {"to", "link"}, 4.0),
+        _spec("end declare target", "declarative", set(), 4.0),
+        _spec("threadprivate", "declarative", set(), 1.0),
+        _spec("cancel", "synchronization", {"parallel", "for", "sections", "taskgroup", "if"}, 4.0),
+        _spec("cancellation point", "synchronization",
+              {"parallel", "for", "sections", "taskgroup"}, 4.0),
+        # Post-4.5 directives present in the table so the front-end can say
+        # "unsupported" instead of "unknown" (mirrors LLVM's behaviour).
+        _spec("taskwait depend", "synchronization", {"depend"}, 5.0),
+        _spec("loop", "worksharing", {"bind", "collapse", "order", "private",
+                                      "lastprivate", "reduction"},
+              5.0, requires_loop=True, standalone=False),
+        _spec("masked", "synchronization", {"filter"}, 5.1, standalone=False,
+              requires_block=True),
+        _spec("scope", "worksharing", {"private", "reduction", "nowait"}, 5.1,
+              standalone=False, requires_block=True),
+        _spec("teams loop", "device", _TEAMS_CLAUSES | {"bind", "collapse", "order"},
+              5.0, requires_loop=True, standalone=False),
+        _spec("target teams loop", "device",
+              _TARGET_CLAUSES | _TEAMS_CLAUSES | {"bind", "collapse", "order"},
+              5.0, requires_loop=True, standalone=False),
+        _spec("parallel loop", "worksharing",
+              _PARALLEL_CLAUSES | {"bind", "collapse", "order"},
+              5.0, requires_loop=True, standalone=False),
+    ]
+}
+
+DIRECTIVE_NAMES = frozenset(DIRECTIVES)
+
+CLAUSE_NAMES = frozenset(
+    set().union(*(spec.allowed for spec in DIRECTIVES.values()))
+    | {"reduction", "hint", "bind", "order", "filter"}
+)
+
+LOOP_DIRECTIVES = frozenset(n for n, s in DIRECTIVES.items() if s.requires_loop)
+BLOCK_DIRECTIVES = frozenset(n for n, s in DIRECTIVES.items() if s.requires_block)
+
+#: OpenMP runtime API provided by ``omp.h``.
+RUNTIME_FUNCTIONS = frozenset(
+    {
+        "omp_get_num_threads", "omp_get_thread_num", "omp_get_max_threads",
+        "omp_set_num_threads", "omp_get_num_procs", "omp_in_parallel",
+        "omp_set_dynamic", "omp_get_dynamic", "omp_get_wtime", "omp_get_wtick",
+        "omp_get_num_devices", "omp_get_default_device", "omp_set_default_device",
+        "omp_is_initial_device", "omp_get_team_num", "omp_get_num_teams",
+        "omp_target_alloc", "omp_target_free", "omp_target_memcpy",
+        "omp_target_is_present", "omp_init_lock", "omp_set_lock",
+        "omp_unset_lock", "omp_destroy_lock", "omp_test_lock",
+        "omp_get_level", "omp_get_ancestor_thread_num", "omp_get_team_size",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def validate_directive(
+    directive: Directive,
+    diags: DiagnosticEngine,
+    max_version: float = 4.5,
+) -> bool:
+    """Validate one parsed OpenMP directive; emit diagnostics; return ok."""
+    ok = True
+    spec = DIRECTIVES.get(directive.name)
+    if spec is None:
+        diags.error(
+            f"unrecognized OpenMP directive '{directive.name}'",
+            directive.location,
+            code="bad-directive",
+        )
+        return False
+    if spec.since > max_version:
+        diags.error(
+            f"'#pragma omp {directive.name}' requires OpenMP {spec.since}, "
+            f"but this compiler supports up to {max_version}",
+            directive.location,
+            code="unsupported-feature",
+        )
+        return False
+
+    seen: set[str] = set()
+    for clause in directive.clauses:
+        if clause.name not in CLAUSE_NAMES:
+            diags.error(
+                f"invalid clause '{clause.name}' on '#pragma omp {directive.name}'",
+                clause.location,
+                code="unknown-clause",
+            )
+            ok = False
+            continue
+        if clause.name not in spec.allowed and not (
+            clause.name == "reduction" and "reduction" in spec.allowed
+        ):
+            diags.error(
+                f"clause '{clause.name}' is not valid on '#pragma omp {directive.name}'",
+                clause.location,
+                code="clause-not-allowed",
+            )
+            ok = False
+            continue
+        if clause.name in seen and clause.name not in {"map", "depend", "reduction", "linear", "to", "from"}:
+            diags.warn(
+                f"duplicate clause '{clause.name}' on '#pragma omp {directive.name}'",
+                clause.location,
+                code="duplicate-clause",
+            )
+        seen.add(clause.name)
+        ok &= _validate_clause_argument(directive, clause, diags)
+
+    ok &= _validate_exclusions(directive, diags)
+    return ok
+
+
+def _validate_clause_argument(directive: Directive, clause, diags: DiagnosticEngine) -> bool:
+    if clause.name in VAR_LIST_CLAUSES - {"flush"}:
+        if not clause.argument:
+            diags.error(
+                f"clause '{clause.name}' on '#pragma omp {directive.name}' requires an argument",
+                clause.location,
+                code="clause-needs-arg",
+            )
+            return False
+        if clause.name == "map":
+            return _validate_map(directive, clause, diags)
+        if clause.name == "depend":
+            dep = clause.modifier()
+            if dep is None or dep.split(",")[0].strip() not in DEPEND_TYPES:
+                diags.error(
+                    f"depend clause requires a dependence type from {sorted(DEPEND_TYPES)}",
+                    clause.location,
+                    code="bad-depend",
+                )
+                return False
+        if not clause.variables():
+            diags.error(
+                f"clause '{clause.name}' has an empty or malformed variable list",
+                clause.location,
+                code="clause-needs-arg",
+            )
+            return False
+    elif clause.name in SCALAR_ARG_CLAUSES:
+        if not clause.argument and clause.name != "ordered":
+            diags.error(
+                f"clause '{clause.name}' on '#pragma omp {directive.name}' requires an argument",
+                clause.location,
+                code="clause-needs-arg",
+            )
+            return False
+    elif clause.name == "reduction":
+        if not clause.argument or ":" not in clause.argument:
+            diags.error(
+                "reduction clause must have the form reduction(operator:var-list)",
+                clause.location,
+                code="bad-reduction",
+            )
+            return False
+        op = clause.argument.split(":", 1)[0].strip()
+        if op not in REDUCTION_OPERATORS:
+            diags.error(
+                f"invalid reduction operator '{op}'",
+                clause.location,
+                code="bad-reduction",
+            )
+            return False
+        if not clause.variables():
+            diags.error("reduction clause has an empty variable list", clause.location, code="bad-reduction")
+            return False
+    elif clause.name == "schedule":
+        if not clause.argument:
+            diags.error(
+                "schedule clause requires a kind argument",
+                clause.location,
+                code="bad-schedule",
+            )
+            return False
+        kind = clause.argument.split(",", 1)[0].strip()
+        kind = kind.split(":")[-1].strip()  # tolerate modifiers like monotonic:
+        if kind not in SCHEDULE_KINDS:
+            diags.error(
+                f"invalid schedule kind '{kind}'",
+                clause.location,
+                code="bad-schedule",
+            )
+            return False
+    elif clause.name == "default":
+        if clause.argument not in DEFAULT_MODES:
+            diags.error(
+                f"default clause argument must be one of {sorted(DEFAULT_MODES)}, got {clause.argument!r}",
+                clause.location,
+                code="bad-default",
+            )
+            return False
+    elif clause.name == "proc_bind":
+        if clause.argument not in PROC_BIND_MODES:
+            diags.error(
+                f"proc_bind argument must be one of {sorted(PROC_BIND_MODES)}",
+                clause.location,
+                code="bad-proc-bind",
+            )
+            return False
+    return True
+
+
+def _validate_map(directive: Directive, clause, diags: DiagnosticEngine) -> bool:
+    mod = clause.modifier()
+    if mod is not None:
+        map_types = [m.strip() for m in mod.split(",")]
+        for mt in map_types:
+            if mt not in MAP_TYPES:
+                diags.error(
+                    f"invalid map type '{mt}' (expected one of {sorted(MAP_TYPES)})",
+                    clause.location,
+                    code="bad-map",
+                )
+                return False
+    if not clause.variables():
+        diags.error("map clause has an empty variable list", clause.location, code="bad-map")
+        return False
+    # release/delete are only valid on 'target exit data'
+    if mod in ("release", "delete") and directive.name != "target exit data":
+        diags.error(
+            f"map type '{mod}' is only permitted on 'target exit data'",
+            clause.location,
+            code="bad-map",
+        )
+        return False
+    return True
+
+
+def _validate_exclusions(directive: Directive, diags: DiagnosticEngine) -> bool:
+    ok = True
+    names = set(directive.clause_names())
+    if directive.name == "atomic":
+        kinds = names & {"read", "write", "update", "capture"}
+        if len(kinds) > 1:
+            diags.error(
+                "atomic directive may specify at most one of read/write/update/capture",
+                directive.location,
+                code="clause-conflict",
+            )
+            ok = False
+    if directive.name in ("target enter data", "target exit data") and "map" not in names:
+        diags.error(
+            f"'#pragma omp {directive.name}' requires at least one map clause",
+            directive.location,
+            code="missing-clause",
+        )
+        ok = False
+    if directive.name == "target update" and not names & {"to", "from"}:
+        diags.error(
+            "'#pragma omp target update' requires at least one to/from clause",
+            directive.location,
+            code="missing-clause",
+        )
+        ok = False
+    if directive.name == "cancel" and not names & {"parallel", "for", "sections", "taskgroup"}:
+        diags.error(
+            "'#pragma omp cancel' requires a construct-type clause",
+            directive.location,
+            code="missing-clause",
+        )
+        ok = False
+    return ok

@@ -1,0 +1,273 @@
+"""Parsing of ``#pragma acc`` / ``#pragma omp`` lines into directives.
+
+A directive line is parsed into a :class:`Directive` — the directive
+name (longest match against the model's spec table, so ``parallel loop``
+and ``target teams distribute parallel for`` resolve as single
+directives) plus a list of :class:`Clause` objects.  Validation against
+the spec (allowed clauses, argument shapes, association requirements)
+lives in :mod:`repro.compiler.openacc_spec` and
+:mod:`repro.compiler.openmp_spec`; this module is purely syntactic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
+
+
+@dataclass
+class Clause:
+    """One clause: ``name`` or ``name(argument-text)``.
+
+    ``argument`` keeps the raw text between the parentheses;
+    :meth:`variables` splits it into the comma-separated list most data
+    clauses carry, stripping array-section syntax (``a[0:N]`` → ``a``).
+    """
+
+    name: str
+    argument: str | None = None
+    location: SourceLocation | None = None
+
+    @property
+    def has_argument(self) -> bool:
+        return self.argument is not None
+
+    def variables(self) -> list[str]:
+        if not self.argument:
+            return []
+        text = self.argument
+        # reduction(+:a,b) / map(tofrom: x[0:n]) -> keep only the list part;
+        # the separator is the first ':' outside brackets (array sections
+        # like a[0:N] contain their own colons).
+        if self.name in ("reduction", "map", "depend", "default", "schedule", "dist_schedule"):
+            split = _top_level_colon(text)
+            if split >= 0:
+                text = text[split + 1 :]
+        names: list[str] = []
+        depth = 0
+        current = []
+        for ch in text:
+            if ch in "([":
+                depth += 1
+            elif ch in ")]":
+                depth = max(0, depth - 1)
+            elif ch == "," and depth == 0:
+                names.append("".join(current))
+                current = []
+                continue
+            current.append(ch)
+        if current:
+            names.append("".join(current))
+        out = []
+        for name in names:
+            name = name.strip()
+            m = re.match(r"[A-Za-z_]\w*", name)
+            if m:
+                out.append(m.group(0))
+        return out
+
+    def modifier(self) -> str | None:
+        """The part before the top-level ':' for reduction/map clauses."""
+        if self.argument:
+            split = _top_level_colon(self.argument)
+            if split >= 0:
+                return self.argument[:split].strip()
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.argument})" if self.has_argument else self.name
+
+
+@dataclass
+class Directive:
+    """A parsed directive: programming model, name, and clauses."""
+
+    model: str  # 'acc' | 'omp'
+    name: str  # canonical (space-joined) directive name
+    clauses: list[Clause] = field(default_factory=list)
+    location: SourceLocation | None = None
+    raw: str = ""
+
+    def clause(self, name: str) -> Clause | None:
+        for clause in self.clauses:
+            if clause.name == name:
+                return clause
+        return None
+
+    def has_clause(self, name: str) -> bool:
+        return self.clause(name) is not None
+
+    def clause_names(self) -> list[str]:
+        return [c.name for c in self.clauses]
+
+    def __str__(self) -> str:
+        parts = [f"#pragma {self.model} {self.name}"]
+        parts.extend(str(c) for c in self.clauses)
+        return " ".join(parts)
+
+
+def _top_level_colon(text: str) -> int:
+    """Index of the first ':' outside brackets/parens, or -1."""
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth = max(0, depth - 1)
+        elif ch == ":" and depth == 0:
+            return i
+    return -1
+
+
+class PragmaParseError(Exception):
+    """Raised when a pragma line cannot be parsed at all."""
+
+
+_WORD = re.compile(r"[A-Za-z_]\w*")
+
+
+def split_pragma_line(text: str) -> tuple[str, str]:
+    """Split ``#pragma acc parallel ...`` into (model, tail).
+
+    Returns ``("", full_tail)`` for non acc/omp pragmas (e.g. ``#pragma
+    once``) which the caller should pass through silently.
+    """
+    body = text.lstrip("#").strip()
+    if not body.startswith("pragma"):
+        raise PragmaParseError(f"not a pragma line: {text!r}")
+    tail = body[len("pragma"):].strip()
+    m = _WORD.match(tail)
+    if m and m.group(0) in ("acc", "omp"):
+        return m.group(0), tail[m.end():].strip()
+    return "", tail
+
+
+def parse_directive(
+    text: str,
+    location: SourceLocation,
+    diags: DiagnosticEngine,
+    directive_names: frozenset[str] | set[str],
+    clause_names: frozenset[str] | set[str],
+) -> Directive | None:
+    """Parse one pragma line against a model's name tables.
+
+    ``directive_names`` contains canonical multi-word names ("parallel
+    loop"); the parser consumes the longest prefix of words that forms a
+    known directive, then parses clauses.  Unknown directives and
+    malformed clause syntax produce *error* diagnostics (a real compiler
+    rejects ``#pragma acc paralel loop``), matching negative-probing
+    issue 0.
+    """
+    model, tail = split_pragma_line(text)
+    if model == "":
+        return None  # '#pragma once' etc. — not ours
+    words = []
+    rest = tail
+    while True:
+        m = _WORD.match(rest)
+        if not m:
+            break
+        words.append(m.group(0))
+        rest_after = rest[m.end():]
+        stripped = rest_after.lstrip()
+        # stop consuming words once the next char opens a clause argument
+        if stripped.startswith("("):
+            break
+        rest = stripped
+    if not words:
+        diags.error(f"expected a directive name after '#pragma {model}'", location, code="bad-directive")
+        return None
+
+    # Longest-match directive name.
+    name = None
+    name_len = 0
+    for k in range(len(words), 0, -1):
+        candidate = " ".join(words[:k])
+        if candidate in directive_names:
+            name = candidate
+            name_len = k
+            break
+    if name is None:
+        diags.error(
+            f"unrecognized '#pragma {model}' directive: '{words[0]}'",
+            location,
+            code="bad-directive",
+        )
+        return None
+
+    # Everything after the directive name is the clause list.
+    clause_text = tail
+    for _ in range(name_len):
+        clause_text = clause_text.lstrip()
+        m = _WORD.match(clause_text)
+        assert m is not None
+        clause_text = clause_text[m.end():]
+    clauses = _parse_clauses(clause_text.strip(), model, name, location, diags, clause_names)
+    if clauses is None:
+        return None
+    return Directive(model=model, name=name, clauses=clauses, location=location, raw=text)
+
+
+def _parse_clauses(
+    text: str,
+    model: str,
+    directive: str,
+    location: SourceLocation,
+    diags: DiagnosticEngine,
+    clause_names: frozenset[str] | set[str],
+) -> list[Clause] | None:
+    clauses: list[Clause] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t,":
+            pos += 1
+            continue
+        m = _WORD.match(text, pos)
+        if not m:
+            diags.error(
+                f"expected a clause on '#pragma {model} {directive}', found {text[pos:pos+10]!r}",
+                location,
+                code="bad-clause-syntax",
+            )
+            return None
+        word = m.group(0)
+        pos = m.end()
+        if word not in clause_names:
+            diags.error(
+                f"invalid clause '{word}' on '#pragma {model} {directive}'",
+                location,
+                code="unknown-clause",
+            )
+            # keep scanning so multiple bad clauses all get reported
+        argument = None
+        # optional argument
+        while pos < n and text[pos] in " \t":
+            pos += 1
+        if pos < n and text[pos] == "(":
+            depth = 0
+            start = pos + 1
+            end = None
+            while pos < n:
+                if text[pos] == "(":
+                    depth += 1
+                elif text[pos] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        end = pos
+                        break
+                pos += 1
+            if end is None:
+                diags.error(
+                    f"unbalanced parentheses in clause '{word}' on '#pragma {model} {directive}'",
+                    location,
+                    code="bad-clause-syntax",
+                )
+                return None
+            argument = text[start:end].strip()
+            pos = end + 1
+        clauses.append(Clause(word, argument, location))
+    return clauses

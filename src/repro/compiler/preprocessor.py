@@ -1,0 +1,244 @@
+"""A small C preprocessor over the lexer's token stream.
+
+Supports what the V&V corpus uses:
+
+* ``#include <...>`` / ``#include "..."`` against a table of known
+  system headers (unknown headers are a fatal driver error, exactly as
+  with a real toolchain);
+* object-like ``#define`` / ``#undef`` with recursive substitution;
+* conditional compilation: ``#ifdef``, ``#ifndef``, ``#if`` with the
+  restricted expressions ``defined(X)``, integer comparison of macro
+  values, ``#else``, ``#elif``, ``#endif``;
+* ``#pragma`` lines are passed through untouched for the directive
+  parser;
+* ``#error`` emits a user diagnostic.
+
+The output is a flat token list with all HASH_LINE tokens removed except
+``#pragma`` lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
+from repro.compiler.lexer import Lexer, Token, TokenKind
+
+#: Headers the simulated toolchain ships.  ``openacc.h`` and ``omp.h``
+#: define the runtime APIs the interpreter implements.
+KNOWN_HEADERS = frozenset(
+    {
+        "stdio.h", "stdlib.h", "math.h", "string.h", "stdbool.h", "assert.h",
+        "time.h", "limits.h", "float.h", "stdint.h", "stddef.h", "ctype.h",
+        "openacc.h", "omp.h", "acc_testsuite.h", "omp_testsuite.h",
+        "iostream", "cstdlib", "cstdio", "cmath", "cstring", "vector",
+    }
+)
+
+#: Macros the testsuite headers provide (value, as source text).
+BUILTIN_HEADER_MACROS = {
+    "acc_testsuite.h": {
+        "SEED": "1234",
+        "LOOPCOUNT": "1024",
+        "PRECISION": "0.000000001",
+    },
+    "omp_testsuite.h": {
+        "SEED": "1234",
+        "LOOPCOUNT": "1024",
+        "PRECISION": "0.000000001",
+        "NUM_THREADS": "8",
+    },
+}
+
+
+@dataclass
+class MacroDef:
+    name: str
+    replacement: list[Token]
+    location: SourceLocation | None = None
+
+
+@dataclass
+class PreprocessResult:
+    tokens: list[Token]
+    includes: list[str] = field(default_factory=list)
+    defines: dict[str, str] = field(default_factory=dict)
+
+
+class Preprocessor:
+    """Expand one translation unit's token stream."""
+
+    def __init__(self, diags: DiagnosticEngine, language_macros: dict[str, str] | None = None):
+        self.diags = diags
+        self.macros: dict[str, MacroDef] = {}
+        # predefined macros, e.g. _OPENACC / _OPENMP version markers
+        for name, value in (language_macros or {}).items():
+            self._define_text(name, value)
+
+    # -- macro helpers -----------------------------------------------------
+
+    def _define_text(self, name: str, value: str) -> None:
+        toks = [
+            t
+            for t in Lexer(value, "<builtin>").tokenize()
+            if t.kind is not TokenKind.EOF
+        ]
+        self.macros[name] = MacroDef(name, toks)
+
+    def _substitute(self, token: Token, depth: int = 0) -> list[Token]:
+        if depth > 16 or token.kind is not TokenKind.IDENT or token.text not in self.macros:
+            return [token]
+        out: list[Token] = []
+        for rep in self.macros[token.text].replacement:
+            relocated = Token(rep.kind, rep.text, token.location)
+            out.extend(self._substitute(relocated, depth + 1))
+        return out
+
+    # -- directive handling --------------------------------------------------
+
+    def run(self, tokens: list[Token]) -> PreprocessResult:
+        result = PreprocessResult(tokens=[])
+        # Conditional stack entries: (taking, taken_any) booleans.
+        cond_stack: list[list[bool]] = []
+
+        def active() -> bool:
+            return all(frame[0] for frame in cond_stack)
+
+        for tok in tokens:
+            if tok.kind is TokenKind.HASH_LINE:
+                line = tok.text.lstrip("#").strip()
+                parts = line.split(None, 1)
+                keyword = parts[0] if parts else ""
+                rest = parts[1].strip() if len(parts) > 1 else ""
+                if keyword == "ifdef":
+                    taking = active() and rest.split()[0] in self.macros if rest else False
+                    cond_stack.append([taking, taking])
+                elif keyword == "ifndef":
+                    name = rest.split()[0] if rest else ""
+                    taking = active() and name not in self.macros
+                    cond_stack.append([taking, taking])
+                elif keyword == "if":
+                    taking = active() and self._eval_condition(rest)
+                    cond_stack.append([taking, taking])
+                elif keyword == "elif":
+                    if not cond_stack:
+                        self.diags.error("#elif without #if", tok.location, code="pp-mismatch")
+                        continue
+                    frame = cond_stack[-1]
+                    parent_active = all(f[0] for f in cond_stack[:-1])
+                    frame[0] = parent_active and not frame[1] and self._eval_condition(rest)
+                    frame[1] = frame[1] or frame[0]
+                elif keyword == "else":
+                    if not cond_stack:
+                        self.diags.error("#else without #if", tok.location, code="pp-mismatch")
+                        continue
+                    frame = cond_stack[-1]
+                    parent_active = all(f[0] for f in cond_stack[:-1])
+                    frame[0] = parent_active and not frame[1]
+                    frame[1] = True
+                elif keyword == "endif":
+                    if not cond_stack:
+                        self.diags.error("#endif without #if", tok.location, code="pp-mismatch")
+                    else:
+                        cond_stack.pop()
+                elif not active():
+                    continue
+                elif keyword == "include":
+                    self._handle_include(rest, tok.location, result)
+                elif keyword == "define":
+                    self._handle_define(rest, tok.location, result)
+                elif keyword == "undef":
+                    self.macros.pop(rest.split()[0], None) if rest else None
+                elif keyword == "pragma":
+                    result.tokens.append(tok)
+                elif keyword == "error":
+                    self.diags.error(f"#error {rest}", tok.location, code="pp-error")
+                elif keyword == "":
+                    pass  # null directive '#'
+                else:
+                    self.diags.warn(
+                        f"ignoring unsupported preprocessor directive #{keyword}",
+                        tok.location,
+                        code="pp-unsupported",
+                    )
+                continue
+            if not active():
+                continue
+            if tok.kind is TokenKind.IDENT:
+                result.tokens.extend(self._substitute(tok))
+            else:
+                result.tokens.append(tok)
+
+        if cond_stack:
+            self.diags.error("unterminated conditional directive (#if without #endif)", code="pp-mismatch")
+        result.defines = {
+            name: " ".join(t.text for t in macro.replacement)
+            for name, macro in self.macros.items()
+        }
+        return result
+
+    def _handle_include(self, rest: str, loc: SourceLocation, result: PreprocessResult) -> None:
+        header = rest.strip()
+        if header.startswith("<") and header.endswith(">"):
+            header = header[1:-1]
+        elif header.startswith('"') and header.endswith('"'):
+            header = header[1:-1]
+        else:
+            self.diags.error(f"malformed #include: {rest!r}", loc, code="pp-include")
+            return
+        result.includes.append(header)
+        if header not in KNOWN_HEADERS:
+            self.diags.fatal(f"'{header}' file not found", loc, code="missing-header")
+            return
+        for name, value in BUILTIN_HEADER_MACROS.get(header, {}).items():
+            if name not in self.macros:
+                self._define_text(name, value)
+
+    def _handle_define(self, rest: str, loc: SourceLocation, result: PreprocessResult) -> None:
+        if not rest:
+            self.diags.error("empty #define", loc, code="pp-define")
+            return
+        parts = rest.split(None, 1)
+        name = parts[0]
+        if "(" in name:
+            # function-like macro: tolerated but not expanded (corpus avoids them)
+            self.diags.warn(
+                f"function-like macro {name.split('(')[0]!r} is not expanded by this front-end",
+                loc,
+                code="pp-funcmacro",
+            )
+            return
+        value = parts[1] if len(parts) > 1 else "1"
+        toks = [
+            Token(t.kind, t.text, loc)
+            for t in Lexer(value, loc.filename).tokenize()
+            if t.kind is not TokenKind.EOF
+        ]
+        self.macros[name] = MacroDef(name, toks, loc)
+
+    def _eval_condition(self, expr: str) -> bool:
+        """Evaluate a restricted #if expression."""
+        text = expr.strip()
+        # defined(X) / defined X
+        import re
+
+        def repl_defined(match: "re.Match[str]") -> str:
+            name = match.group(1) or match.group(2)
+            return "1" if name in self.macros else "0"
+
+        text = re.sub(r"defined\s*\(\s*(\w+)\s*\)|defined\s+(\w+)", repl_defined, text)
+        # substitute remaining macros with their text (or 0)
+        def repl_ident(match: "re.Match[str]") -> str:
+            name = match.group(0)
+            macro = self.macros.get(name)
+            if macro is None:
+                return "0"
+            return " ".join(t.text for t in macro.replacement) or "0"
+
+        text = re.sub(r"[A-Za-z_]\w*", repl_ident, text)
+        text = text.replace("&&", " and ").replace("||", " or ").replace("!", " not ")
+        text = text.replace(" not =", " !=")  # undo '!=' damage
+        try:
+            return bool(eval(text, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized integer expr
+        except Exception:
+            return False

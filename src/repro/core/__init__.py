@@ -1,0 +1,11 @@
+"""The paper's primary contribution as a user-facing API.
+
+:class:`TestsuiteValidator` wraps the full method — staged validation
+pipeline with an agent-based LLM judge — behind the call a downstream
+test-suite maintainer actually wants: *"here are candidate tests, tell
+me which are valid."*
+"""
+
+from repro.core.validator import JudgedFile, TestsuiteValidator, ValidationReport
+
+__all__ = ["TestsuiteValidator", "ValidationReport", "JudgedFile"]

@@ -1,0 +1,22 @@
+"""Synthetic V&V testsuite corpus.
+
+The paper draws its negative-probing population from the manually
+written OpenACC V&V and OpenMP V&V repositories.  Those suites are the
+one input we cannot ship, so this package generates an equivalent
+population: template-driven, self-checking compiler tests in C, C++ and
+Fortran that cover the same feature families (compute constructs, data
+clauses, reductions, loop scheduling, unstructured data movement,
+atomics, host parallelism, runtime API usage).
+
+Every generated test:
+
+* compiles cleanly under :class:`repro.compiler.driver.Compiler`;
+* runs under :class:`repro.runtime.executor.Executor` and exits 0 iff
+  its serial-vs-device self-check passes;
+* carries feature metadata used by experiments and the judge.
+"""
+
+from repro.corpus.generator import CorpusGenerator, TestFile
+from repro.corpus.suite import TestSuite
+
+__all__ = ["CorpusGenerator", "TestFile", "TestSuite"]

@@ -1,0 +1,81 @@
+"""Feature-coverage analysis of a test suite.
+
+An extension beyond the paper's evaluation: given a suite (or a probed
+population), report which specification features the corpus exercises,
+per category, and which catalog features are uncovered.  The V&V
+projects the paper builds on track exactly this kind of coverage
+matrix for their manually-written suites.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.corpus.features import Feature, catalog
+from repro.corpus.generator import TestFile
+
+
+@dataclass
+class CoverageReport:
+    """Feature coverage of one collection of tests."""
+
+    model: str
+    tests_total: int
+    feature_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def covered(self) -> set[str]:
+        return set(self.feature_counts)
+
+    @property
+    def uncovered(self) -> set[str]:
+        return set(catalog(self.model)) - self.covered
+
+    @property
+    def coverage_fraction(self) -> float:
+        total = len(catalog(self.model))
+        return len(self.covered) / total if total else 0.0
+
+    def by_category(self) -> dict[str, tuple[int, int]]:
+        """category -> (covered, total) over the catalog."""
+        cat = catalog(self.model)
+        totals: Counter = Counter(f.category for f in cat.values())
+        covered: Counter = Counter(
+            cat[ident].category for ident in self.covered if ident in cat
+        )
+        return {name: (covered.get(name, 0), totals[name]) for name in sorted(totals)}
+
+    def most_exercised(self, n: int = 5) -> list[tuple[str, int]]:
+        return self.feature_counts.most_common(n)
+
+    def render(self) -> str:
+        lines = [
+            f"Feature coverage ({self.model}): "
+            f"{len(self.covered)}/{len(catalog(self.model))} features "
+            f"({self.coverage_fraction:.0%}) across {self.tests_total} tests",
+        ]
+        for category, (covered, total) in self.by_category().items():
+            lines.append(f"  {category:10s} {covered}/{total}")
+        if self.uncovered:
+            lines.append("  uncovered: " + ", ".join(sorted(self.uncovered)))
+        return "\n".join(lines)
+
+
+def measure_coverage(model: str, tests: list[TestFile]) -> CoverageReport:
+    """Coverage of the catalog features by a list of tests."""
+    report = CoverageReport(model=model, tests_total=len(tests))
+    for test in tests:
+        if test.model != model:
+            continue
+        for ident in test.features:
+            if ident.startswith(f"{model}."):
+                report.feature_counts[ident] += 1
+    return report
+
+
+def uncovered_features(model: str, tests: list[TestFile]) -> list[Feature]:
+    """Catalog features no test exercises (generation gap analysis)."""
+    report = measure_coverage(model, tests)
+    cat = catalog(model)
+    return [cat[ident] for ident in sorted(report.uncovered)]

@@ -1,0 +1,109 @@
+"""Feature catalogs mirroring the OpenACC / OpenMP V&V suite coverage.
+
+Each :class:`Feature` names one specification feature a test can
+exercise.  The catalogs drive corpus generation (templates declare the
+features they cover) and experiment reporting (per-feature accuracy
+breakdowns, an extension beyond the paper's per-issue breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One testable specification feature."""
+
+    ident: str
+    model: str  # 'acc' | 'omp'
+    category: str  # 'compute' | 'data' | 'loop' | 'sync' | 'host' | 'api'
+    description: str
+    since: float = 1.0
+
+
+OPENACC_FEATURES: dict[str, Feature] = {
+    f.ident: f
+    for f in [
+        Feature("acc.parallel", "acc", "compute", "parallel construct offloads a region"),
+        Feature("acc.kernels", "acc", "compute", "kernels construct auto-parallelizes a region"),
+        Feature("acc.serial", "acc", "compute", "serial construct runs a region on one device thread"),
+        Feature("acc.parallel-loop", "acc", "loop", "combined parallel loop construct"),
+        Feature("acc.kernels-loop", "acc", "loop", "combined kernels loop construct"),
+        Feature("acc.loop.gang", "acc", "loop", "gang-level loop scheduling"),
+        Feature("acc.loop.worker", "acc", "loop", "worker-level loop scheduling"),
+        Feature("acc.loop.vector", "acc", "loop", "vector-level loop scheduling"),
+        Feature("acc.loop.seq", "acc", "loop", "sequential loop inside a compute region"),
+        Feature("acc.loop.collapse", "acc", "loop", "collapse clause over nested loops"),
+        Feature("acc.loop.independent", "acc", "loop", "independent clause assertion"),
+        Feature("acc.reduction.add", "acc", "loop", "sum reduction"),
+        Feature("acc.reduction.max", "acc", "loop", "max reduction"),
+        Feature("acc.reduction.min", "acc", "loop", "min reduction"),
+        Feature("acc.data.copy", "acc", "data", "structured data region with copy"),
+        Feature("acc.data.copyin-copyout", "acc", "data", "copyin + copyout pairing"),
+        Feature("acc.data.create", "acc", "data", "create clause device allocation"),
+        Feature("acc.data.present", "acc", "data", "present clause on an enclosing mapping"),
+        Feature("acc.enter-exit-data", "acc", "data", "unstructured enter/exit data"),
+        Feature("acc.update", "acc", "data", "update host/device directive"),
+        Feature("acc.private", "acc", "loop", "private clause on a loop"),
+        Feature("acc.firstprivate", "acc", "compute", "firstprivate scalar capture"),
+        Feature("acc.atomic", "acc", "sync", "atomic update"),
+        Feature("acc.async-wait", "acc", "sync", "async clause with wait directive"),
+        Feature("acc.if-clause", "acc", "compute", "if clause conditional offload"),
+        Feature("acc.num-gangs", "acc", "compute", "num_gangs/num_workers/vector_length"),
+        Feature("acc.api.device", "acc", "api", "device-query runtime API"),
+        Feature("acc.api.memory", "acc", "api", "acc_copyin/acc_copyout runtime API"),
+    ]
+}
+
+OPENMP_FEATURES: dict[str, Feature] = {
+    f.ident: f
+    for f in [
+        Feature("omp.parallel", "omp", "host", "parallel region", 1.0),
+        Feature("omp.parallel-for", "omp", "host", "parallel worksharing loop", 1.0),
+        Feature("omp.for.schedule-static", "omp", "host", "static loop schedule", 1.0),
+        Feature("omp.for.schedule-dynamic", "omp", "host", "dynamic loop schedule", 1.0),
+        Feature("omp.sections", "omp", "host", "sections worksharing", 1.0),
+        Feature("omp.single", "omp", "host", "single construct", 1.0),
+        Feature("omp.master", "omp", "host", "master construct", 1.0),
+        Feature("omp.critical", "omp", "sync", "critical section", 1.0),
+        Feature("omp.atomic", "omp", "sync", "atomic update", 1.0),
+        Feature("omp.barrier", "omp", "sync", "barrier synchronization", 1.0),
+        Feature("omp.reduction.add", "omp", "host", "sum reduction", 1.0),
+        Feature("omp.reduction.max", "omp", "host", "max reduction", 3.1),
+        Feature("omp.private", "omp", "host", "private clause", 1.0),
+        Feature("omp.firstprivate", "omp", "host", "firstprivate clause", 1.0),
+        Feature("omp.lastprivate", "omp", "host", "lastprivate clause", 1.0),
+        Feature("omp.simd", "omp", "host", "simd loop", 4.0),
+        Feature("omp.task", "omp", "host", "explicit task", 3.0),
+        Feature("omp.target", "omp", "device", "target offload region", 4.0),
+        Feature("omp.target.map-tofrom", "omp", "device", "map(tofrom:) data movement", 4.0),
+        Feature("omp.target.map-to-from", "omp", "device", "map(to:)+map(from:) pairing", 4.0),
+        Feature("omp.target-data", "omp", "device", "structured target data region", 4.0),
+        Feature("omp.target-update", "omp", "device", "target update to/from", 4.0),
+        Feature("omp.target-enter-exit", "omp", "device", "unstructured target data", 4.5),
+        Feature("omp.teams", "omp", "device", "teams construct", 4.0),
+        Feature("omp.distribute", "omp", "device", "distribute worksharing", 4.0),
+        Feature("omp.teams-distribute-parallel-for", "omp", "device",
+                "combined target teams distribute parallel for", 4.0),
+        Feature("omp.collapse", "omp", "device", "collapse clause", 3.0),
+        Feature("omp.if-clause", "omp", "device", "if clause conditional offload", 4.0),
+        Feature("omp.defaultmap", "omp", "device", "implicit scalar mapping", 4.5),
+        Feature("omp.api.threads", "omp", "api", "thread-query runtime API", 1.0),
+        Feature("omp.api.device", "omp", "api", "device-query runtime API", 4.0),
+    ]
+}
+
+
+def catalog(model: str) -> dict[str, Feature]:
+    """The feature catalog for a programming model."""
+    if model == "acc":
+        return OPENACC_FEATURES
+    if model == "omp":
+        return OPENMP_FEATURES
+    raise ValueError(f"unknown model {model!r}")
+
+
+def features_at_or_below(model: str, version: float) -> list[Feature]:
+    """Features usable with a compiler supporting up to ``version``."""
+    return [f for f in catalog(model).values() if f.since <= version]

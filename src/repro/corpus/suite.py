@@ -1,0 +1,100 @@
+"""Test-suite containers: grouping, splitting, persistence.
+
+The paper's protocol splits the manually written suite in half at
+random — one half is mutated (invalid), one half stays unchanged
+(valid).  :meth:`TestSuite.split_half` implements that split with a
+seeded RNG so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.corpus.generator import TestFile
+
+
+@dataclass
+class TestSuite:
+    """An ordered collection of test files with metadata."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    name: str
+    model: str
+    files: list[TestFile] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __iter__(self):
+        return iter(self.files)
+
+    def by_language(self, language: str) -> list[TestFile]:
+        return [f for f in self.files if f.language == language]
+
+    def by_issue(self, issue: int | None) -> list[TestFile]:
+        return [f for f in self.files if f.issue == issue]
+
+    def languages(self) -> list[str]:
+        seen: list[str] = []
+        for f in self.files:
+            if f.language not in seen:
+                seen.append(f.language)
+        return seen
+
+    # ------------------------------------------------------------------
+
+    def split_half(self, seed: int = 0) -> tuple["TestSuite", "TestSuite"]:
+        """Random half/half split (mutation candidates, unchanged)."""
+        rng = random.Random(seed)
+        shuffled = list(self.files)
+        rng.shuffle(shuffled)
+        mid = len(shuffled) // 2
+        first = TestSuite(f"{self.name}-mutate", self.model, shuffled[:mid])
+        second = TestSuite(f"{self.name}-unchanged", self.model, shuffled[mid:])
+        return first, second
+
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Write sources plus a manifest.json into ``directory``."""
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = []
+        for test in self.files:
+            (root / test.name).write_text(test.source)
+            manifest.append(
+                {
+                    "name": test.name,
+                    "language": test.language,
+                    "model": test.model,
+                    "template": test.template,
+                    "features": list(test.features),
+                    "issue": test.issue,
+                }
+            )
+        (root / "manifest.json").write_text(
+            json.dumps({"name": self.name, "model": self.model, "files": manifest}, indent=2)
+        )
+        return root
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "TestSuite":
+        root = Path(directory)
+        data = json.loads((root / "manifest.json").read_text())
+        files = [
+            TestFile(
+                name=entry["name"],
+                language=entry["language"],
+                model=entry["model"],
+                source=(root / entry["name"]).read_text(),
+                template=entry["template"],
+                features=tuple(entry["features"]),
+                issue=entry["issue"],
+            )
+            for entry in data["files"]
+        ]
+        return cls(name=data["name"], model=data["model"], files=files)

@@ -1,0 +1,1563 @@
+"""Template library: self-checking OpenACC/OpenMP compiler tests.
+
+Each template renders one complete test program following the V&V
+suites' house style: initialize inputs, compute a serial reference,
+perform the same computation through the directive feature under test,
+compare with a tolerance, and ``return err`` so the exit code encodes
+the verdict.  Templates are parameterized (array size, scalar
+coefficients, variable-name pool, datatype) so one template yields many
+distinct files.
+
+Every template is registered via :func:`template` with the models,
+languages and feature idents it covers; :mod:`repro.corpus.generator`
+drives the registry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+NAME_POOLS = [
+    ("a", "b", "c"),
+    ("x", "y", "z"),
+    ("in1", "in2", "out"),
+    ("src", "dst", "tmp"),
+    ("data1", "data2", "result"),
+]
+
+SIZES = [128, 192, 256, 320]
+
+
+@dataclass
+class TemplateContext:
+    """Randomized parameters shared by all templates."""
+
+    rng: random.Random
+    model: str  # 'acc' | 'omp'
+    language: str  # 'c' | 'cpp' | 'f90'
+    size: int = 0
+    names: tuple[str, str, str] = ("a", "b", "c")
+    dtype: str = "double"
+    coeff: int = 2
+    offset: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            self.size = self.rng.choice(SIZES)
+        self.names = self.rng.choice(NAME_POOLS)
+        self.dtype = self.rng.choice(["double", "float", "double"])
+        self.coeff = self.rng.randint(2, 9)
+        self.offset = self.rng.randint(1, 7)
+
+    # -- source helpers ----------------------------------------------------
+
+    @property
+    def header(self) -> str:
+        runtime = "openacc.h" if self.model == "acc" else "omp.h"
+        return (
+            "#include <stdio.h>\n"
+            "#include <stdlib.h>\n"
+            "#include <math.h>\n"
+            f"#include <{runtime}>\n"
+        )
+
+    @property
+    def fmt(self) -> str:
+        return "%f" if self.dtype in ("double", "float") else "%d"
+
+    def tolerance_check(self, lhs: str, rhs: str) -> str:
+        if self.dtype in ("double", "float"):
+            return f"fabs({lhs} - {rhs}) > 1e-9"
+        return f"{lhs} != {rhs}"
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    name: str
+    models: tuple[str, ...]
+    languages: tuple[str, ...]
+    features: tuple[str, ...]
+    render: Callable[[TemplateContext], str]
+
+
+TEMPLATES: list[TemplateSpec] = []
+
+
+def template(name: str, models: tuple[str, ...], languages: tuple[str, ...], features: tuple[str, ...]):
+    def register(fn: Callable[[TemplateContext], str]) -> Callable[[TemplateContext], str]:
+        TEMPLATES.append(TemplateSpec(name, models, languages, features, fn))
+        return fn
+
+    return register
+
+
+def templates_for(model: str, language: str) -> list[TemplateSpec]:
+    return [t for t in TEMPLATES if model in t.models and language in t.languages]
+
+
+# ---------------------------------------------------------------------------
+# C / C++ templates
+# ---------------------------------------------------------------------------
+
+
+def _compute_for_pragma(ctx: TemplateContext, extra: str = "") -> str:
+    """The model's combined offloaded-loop directive."""
+    a, b, _ = ctx.names
+    n = ctx.size
+    if ctx.model == "acc":
+        return f"#pragma acc parallel loop copyin({a}[0:{n}]) copyout({b}[0:{n}]){extra}"
+    return (
+        f"#pragma omp target teams distribute parallel for "
+        f"map(to: {a}[0:{n}]) map(from: {b}[0:{n}]){extra}"
+    )
+
+
+@template("vector_scale", ("acc", "omp"), ("c", "cpp"), ("acc.parallel-loop", "omp.teams-distribute-parallel-for", "acc.data.copyin-copyout", "omp.target.map-to-from"))
+def t_vector_scale(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, off, T = ctx.size, ctx.coeff, ctx.offset, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} *{a} = ({T}*)malloc(N * sizeof({T}));
+    {T} *{b} = ({T}*)malloc(N * sizeof({T}));
+    {T} expected[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})i / {k}.0;
+        expected[i] = {a}[i] * {k}.0 + {off}.0;
+    }}
+{_compute_for_pragma(ctx)}
+    for (int i = 0; i < N; i++) {{
+        {b}[i] = {a}[i] * {k}.0 + {off}.0;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'expected[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("Test failed with %d errors\\n", err);
+        return 1;
+    }}
+    printf("Test passed\\n");
+    free({a});
+    free({b});
+    return 0;
+}}
+"""
+
+
+@template("saxpy", ("acc", "omp"), ("c", "cpp"), ("acc.parallel-loop", "omp.teams-distribute-parallel-for"))
+def t_saxpy(ctx: TemplateContext) -> str:
+    x, y, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop copy({y}[0:{n}]) copyin({x}[0:{n}])"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for "
+            f"map(tofrom: {y}[0:{n}]) map(to: {x}[0:{n}])"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {x}[N];
+    {T} {y}[N];
+    {T} expected[N];
+    {T} alpha = {k}.5;
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {x}[i] = ({T})(i % 17);
+        {y}[i] = ({T})(i % 5);
+        expected[i] = alpha * {x}[i] + {y}[i];
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        {y}[i] = alpha * {x}[i] + {y}[i];
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{y}[i]', 'expected[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("saxpy failed: %d mismatches\\n", err);
+        return 1;
+    }}
+    printf("saxpy passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("reduction_sum", ("acc", "omp"), ("c", "cpp"), ("acc.reduction.add", "omp.reduction.add"))
+def t_reduction_sum(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n = ctx.size
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop copyin({a}[0:{n}]) reduction(+:sum)"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for "
+            f"map(to: {a}[0:{n}]) reduction(+:sum)"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    int {a}[N];
+    long sum = 0;
+    long expected = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = i % {ctx.coeff + 3};
+        expected += {a}[i];
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        sum += {a}[i];
+    }}
+    if (sum != expected) {{
+        printf("reduction mismatch: got %ld expected %ld\\n", sum, expected);
+        return 1;
+    }}
+    printf("reduction passed: %ld\\n", sum);
+    return 0;
+}}
+"""
+
+
+@template("reduction_minmax", ("acc", "omp"), ("c", "cpp"), ("acc.reduction.max", "acc.reduction.min", "omp.reduction.max"))
+def t_reduction_minmax(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n = ctx.size
+    op = ctx.rng.choice(["max", "min"])
+    cmp = ">" if op == "max" else "<"
+    init = "-1000000" if op == "max" else "1000000"
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop copyin({a}[0:{n}]) reduction({op}:best)"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for "
+            f"map(to: {a}[0:{n}]) reduction({op}:best)"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    int {a}[N];
+    int best = {init};
+    int expected = {init};
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = (i * {ctx.coeff + 11}) % 1013;
+        if ({a}[i] {cmp} expected) {{
+            expected = {a}[i];
+        }}
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        if ({a}[i] {cmp} best) {{
+            best = {a}[i];
+        }}
+    }}
+    if (best != expected) {{
+        printf("{op} reduction mismatch: got %d expected %d\\n", best, expected);
+        return 1;
+    }}
+    printf("{op} reduction passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("matmul_collapse", ("acc", "omp"), ("c", "cpp"), ("acc.loop.collapse", "omp.collapse"))
+def t_matmul_collapse(ctx: TemplateContext) -> str:
+    m = ctx.rng.choice([16, 24, 32])
+    T = ctx.dtype
+    if ctx.model == "acc":
+        pragma = "#pragma acc parallel loop collapse(2) copyin(ma, mb) copyout(mc)"
+    else:
+        pragma = (
+            "#pragma omp target teams distribute parallel for collapse(2) "
+            f"map(to: ma[0:{m}][0:{m}], mb[0:{m}][0:{m}]) map(from: mc[0:{m}][0:{m}])"
+        )
+    return f"""{ctx.header}#define M {m}
+
+int main() {{
+    {T} ma[M][M];
+    {T} mb[M][M];
+    {T} mc[M][M];
+    {T} ref[M][M];
+    int err = 0;
+    for (int i = 0; i < M; i++) {{
+        for (int j = 0; j < M; j++) {{
+            ma[i][j] = ({T})((i + j) % 7);
+            mb[i][j] = ({T})((i * j) % 5);
+            mc[i][j] = 0.0;
+            ref[i][j] = 0.0;
+        }}
+    }}
+    for (int i = 0; i < M; i++) {{
+        for (int j = 0; j < M; j++) {{
+            for (int k = 0; k < M; k++) {{
+                ref[i][j] += ma[i][k] * mb[k][j];
+            }}
+        }}
+    }}
+{pragma}
+    for (int i = 0; i < M; i++) {{
+        for (int j = 0; j < M; j++) {{
+            {T} acc_sum = 0.0;
+            for (int k = 0; k < M; k++) {{
+                acc_sum += ma[i][k] * mb[k][j];
+            }}
+            mc[i][j] = acc_sum;
+        }}
+    }}
+    for (int i = 0; i < M; i++) {{
+        for (int j = 0; j < M; j++) {{
+            if ({ctx.tolerance_check('mc[i][j]', 'ref[i][j]')}) {{
+                err = err + 1;
+            }}
+        }}
+    }}
+    if (err != 0) {{
+        printf("matmul failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("matmul passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("stencil_3point", ("acc", "omp"), ("c", "cpp"), ("acc.data.copy", "omp.target.map-tofrom"))
+def t_stencil(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, T = ctx.size, ctx.dtype
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop copyin({a}[0:{n}]) copyout({b}[0:{n}])"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for "
+            f"map(to: {a}[0:{n}]) map(from: {b}[0:{n}])"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 31);
+        {b}[i] = 0.0;
+        ref[i] = 0.0;
+    }}
+    for (int i = 1; i < N - 1; i++) {{
+        ref[i] = ({a}[i - 1] + {a}[i] + {a}[i + 1]) / 3.0;
+    }}
+{pragma}
+    for (int i = 1; i < N - 1; i++) {{
+        {b}[i] = ({a}[i - 1] + {a}[i] + {a}[i + 1]) / 3.0;
+    }}
+    for (int i = 1; i < N - 1; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("stencil failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("stencil passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("data_region_multi", ("acc", "omp"), ("c", "cpp"), ("acc.data.copy", "acc.data.present", "omp.target-data"))
+def t_data_region(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        open_region = f"#pragma acc data copy({a}[0:{n}]) copyout({b}[0:{n}])"
+        loop1 = f"#pragma acc parallel loop present({a}[0:{n}])"
+        loop2 = f"#pragma acc parallel loop present({a}[0:{n}], {b}[0:{n}])"
+    else:
+        open_region = f"#pragma omp target data map(tofrom: {a}[0:{n}]) map(from: {b}[0:{n}])"
+        loop1 = "#pragma omp target teams distribute parallel for"
+        loop2 = "#pragma omp target teams distribute parallel for"
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref_a[N];
+    {T} ref_b[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 13);
+        {b}[i] = 0.0;
+        ref_a[i] = {a}[i] * {k}.0;
+        ref_b[i] = ref_a[i] + 1.0;
+    }}
+{open_region}
+    {{
+{loop1}
+        for (int i = 0; i < N; i++) {{
+            {a}[i] = {a}[i] * {k}.0;
+        }}
+{loop2}
+        for (int i = 0; i < N; i++) {{
+            {b}[i] = {a}[i] + 1.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref_a[i]')}) {{
+            err = err + 1;
+        }}
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref_b[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("data region test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("data region test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("update_directive", ("acc", "omp"), ("c", "cpp"), ("acc.update", "omp.target-update"))
+def t_update(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        open_region = f"#pragma acc data copyin({a}[0:{n}]) copyout({b}[0:{n}])"
+        update = f"#pragma acc update device({a}[0:{n}])"
+        loop = "#pragma acc parallel loop"
+    else:
+        open_region = f"#pragma omp target data map(to: {a}[0:{n}]) map(from: {b}[0:{n}])"
+        update = f"#pragma omp target update to({a}[0:{n}])"
+        loop = "#pragma omp target teams distribute parallel for"
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})i;
+        {b}[i] = 0.0;
+        ref[i] = (({T})i + {k}.0) * 2.0;
+    }}
+{open_region}
+    {{
+        for (int i = 0; i < N; i++) {{
+            {a}[i] = {a}[i] + {k}.0;
+        }}
+{update}
+{loop}
+        for (int i = 0; i < N; i++) {{
+            {b}[i] = {a}[i] * 2.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("update test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("update test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("enter_exit_data", ("acc", "omp"), ("c", "cpp"), ("acc.enter-exit-data", "omp.target-enter-exit"))
+def t_enter_exit(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        enter = f"#pragma acc enter data copyin({a}[0:{n}])"
+        loop = f"#pragma acc parallel loop present({a}[0:{n}])"
+        leave = f"#pragma acc exit data copyout({a}[0:{n}])"
+    else:
+        enter = f"#pragma omp target enter data map(to: {a}[0:{n}])"
+        loop = "#pragma omp target teams distribute parallel for"
+        leave = f"#pragma omp target exit data map(from: {a}[0:{n}])"
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 19);
+        ref[i] = {a}[i] + {k}.0;
+    }}
+{enter}
+{loop}
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = {a}[i] + {k}.0;
+    }}
+{leave}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("enter/exit data failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("enter/exit data passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("private_clause", ("acc", "omp"), ("c", "cpp"), ("acc.private", "omp.private"))
+def t_private(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop private(scratch) copyin({a}[0:{n}]) copyout({b}[0:{n}])"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for private(scratch) "
+            f"map(to: {a}[0:{n}]) map(from: {b}[0:{n}])"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    {T} scratch = 0.0;
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 23);
+        ref[i] = {a}[i] * {k}.0 + 1.0;
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        scratch = {a}[i] * {k}.0;
+        {b}[i] = scratch + 1.0;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("private clause test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("private clause test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("firstprivate_scalar", ("acc", "omp"), ("c", "cpp"), ("acc.firstprivate", "omp.firstprivate"))
+def t_firstprivate(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop firstprivate(factor) copyin({a}[0:{n}]) copyout({b}[0:{n}])"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for firstprivate(factor) "
+            f"map(to: {a}[0:{n}]) map(from: {b}[0:{n}])"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    {T} factor = {k}.25;
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 11);
+        ref[i] = {a}[i] * factor;
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        {b}[i] = {a}[i] * factor;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("firstprivate test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("firstprivate test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("if_clause", ("acc", "omp"), ("c", "cpp"), ("acc.if-clause", "omp.if-clause"))
+def t_if_clause(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop if(use_device) copy({a}[0:{n}])"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for if(use_device) "
+            f"map(tofrom: {a}[0:{n}])"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} ref[N];
+    int use_device = 1;
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})i;
+        ref[i] = ({T})i + {k}.0;
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = {a}[i] + {k}.0;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("if clause test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("if clause test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("atomic_update", ("acc", "omp"), ("c", "cpp"), ("acc.atomic", "omp.atomic"))
+def t_atomic(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n = ctx.size
+    if ctx.model == "acc":
+        outer = f"#pragma acc parallel loop copyin({a}[0:{n}]) copy(hits)"
+        atomic = "#pragma acc atomic update"
+    else:
+        outer = "#pragma omp parallel for shared(hits)"
+        atomic = "#pragma omp atomic"
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    int {a}[N];
+    int hits = 0;
+    int expected = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = i % {ctx.coeff + 2};
+        if ({a}[i] == 0) {{
+            expected = expected + 1;
+        }}
+    }}
+{outer}
+    for (int i = 0; i < N; i++) {{
+        if ({a}[i] == 0) {{
+{atomic}
+            hits = hits + 1;
+        }}
+    }}
+    if (hits != expected) {{
+        printf("atomic count mismatch: got %d expected %d\\n", hits, expected);
+        return 1;
+    }}
+    printf("atomic test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("gang_worker_vector", ("acc",), ("c", "cpp"), ("acc.loop.gang", "acc.loop.worker", "acc.loop.vector", "acc.num-gangs"))
+def t_gang_worker_vector(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    sched = ctx.rng.choice(["gang", "gang worker", "gang vector", "gang worker vector"])
+    tuning = ctx.rng.choice(["", " num_gangs(8)", " num_gangs(4) vector_length(64)"])
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 29);
+        ref[i] = {a}[i] + {k}.0;
+    }}
+#pragma acc parallel copyin({a}[0:{n}]) copyout({b}[0:{n}]){tuning}
+    {{
+#pragma acc loop {sched}
+        for (int i = 0; i < N; i++) {{
+            {b}[i] = {a}[i] + {k}.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("gang/worker/vector test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("gang/worker/vector test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("kernels_construct", ("acc",), ("c", "cpp"), ("acc.kernels", "acc.kernels-loop"))
+def t_kernels(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 37);
+        ref[i] = {a}[i] * {k}.0 - 1.0;
+    }}
+#pragma acc kernels copyin({a}[0:{n}]) copyout({b}[0:{n}])
+    {{
+#pragma acc loop independent
+        for (int i = 0; i < N; i++) {{
+            {b}[i] = {a}[i] * {k}.0 - 1.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("kernels test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("kernels test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("serial_construct", ("acc",), ("c", "cpp"), ("acc.serial",))
+def t_serial(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, T = ctx.size, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} total = 0.0;
+    {T} expected = 0.0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 7);
+        expected += {a}[i];
+    }}
+#pragma acc serial copyin({a}[0:{n}]) copy(total)
+    {{
+        for (int i = 0; i < N; i++) {{
+            total += {a}[i];
+        }}
+    }}
+    if ({ctx.tolerance_check('total', 'expected')}) {{
+        printf("serial construct mismatch\\n");
+        return 1;
+    }}
+    printf("serial construct passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("async_wait", ("acc",), ("c", "cpp"), ("acc.async-wait",))
+def t_async_wait(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})i;
+        ref[i] = ({T})i * {k}.0;
+    }}
+#pragma acc parallel loop async copyin({a}[0:{n}]) copyout({b}[0:{n}])
+    for (int i = 0; i < N; i++) {{
+        {b}[i] = {a}[i] * {k}.0;
+    }}
+#pragma acc wait
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("async/wait test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("async/wait test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("seq_loop", ("acc",), ("c", "cpp"), ("acc.loop.seq",))
+def t_seq_loop(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, T = ctx.size, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} prefix[N];
+    {T} ref[N];
+    int err = 0;
+    {T} running = 0.0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 9);
+        running += {a}[i];
+        ref[i] = running;
+    }}
+#pragma acc parallel copyin({a}[0:{n}]) copyout(prefix[0:{n}])
+    {{
+#pragma acc loop seq
+        for (int i = 0; i < N; i++) {{
+            if (i == 0) {{
+                prefix[i] = {a}[i];
+            }} else {{
+                prefix[i] = prefix[i - 1] + {a}[i];
+            }}
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check('prefix[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("seq loop test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("seq loop test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("runtime_api", ("acc", "omp"), ("c", "cpp"), ("acc.api.device", "omp.api.threads", "omp.api.device"))
+def t_runtime_api(ctx: TemplateContext) -> str:
+    if ctx.model == "acc":
+        body = """    int ndev = acc_get_num_devices(acc_device_default);
+    if (ndev < 1) {
+        printf("no devices available\\n");
+        return 1;
+    }
+    acc_init(acc_device_default);
+    int devnum = acc_get_device_num(acc_device_default);
+    if (devnum < 0) {
+        printf("bad device number\\n");
+        return 1;
+    }
+    acc_shutdown(acc_device_default);"""
+    else:
+        body = """    int maxt = omp_get_max_threads();
+    if (maxt < 1) {
+        printf("bad max threads\\n");
+        return 1;
+    }
+    int ndev = omp_get_num_devices();
+    if (ndev < 0) {
+        printf("bad device count\\n");
+        return 1;
+    }
+    omp_set_num_threads(maxt);"""
+    return f"""{ctx.header}
+int main() {{
+{body}
+    printf("runtime API test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("api_memory", ("acc",), ("c", "cpp"), ("acc.api.memory",))
+def t_api_memory(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 15);
+        ref[i] = {a}[i] * {k}.0;
+    }}
+    acc_copyin({a}, N * sizeof({T}));
+    if (!acc_is_present({a}, N * sizeof({T}))) {{
+        printf("data not present after acc_copyin\\n");
+        return 1;
+    }}
+#pragma acc parallel loop present({a}[0:{n}])
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = {a}[i] * {k}.0;
+    }}
+    acc_copyout({a}, N * sizeof({T}));
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("API memory test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("API memory test passed\\n");
+    return 0;
+}}
+"""
+
+
+# -- OpenMP host-side templates ------------------------------------------------
+
+
+@template("parallel_for_schedule", ("omp",), ("c", "cpp"), ("omp.parallel-for", "omp.for.schedule-static", "omp.for.schedule-dynamic"))
+def t_parallel_for_schedule(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    kind = ctx.rng.choice(["static", "dynamic", "guided", "static, 16"])
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 21);
+        ref[i] = {a}[i] * {k}.0 + 2.0;
+    }}
+#pragma omp parallel for schedule({kind})
+    for (int i = 0; i < N; i++) {{
+        {b}[i] = {a}[i] * {k}.0 + 2.0;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("schedule({kind}) test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("schedule test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("sections", ("omp",), ("c", "cpp"), ("omp.sections",))
+def t_sections(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref_a[N];
+    {T} ref_b[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = 0.0;
+        {b}[i] = 0.0;
+        ref_a[i] = ({T})i * {k}.0;
+        ref_b[i] = ({T})i + {k}.0;
+    }}
+#pragma omp parallel
+    {{
+#pragma omp sections
+        {{
+#pragma omp section
+            {{
+                for (int i = 0; i < N; i++) {{
+                    {a}[i] = ({T})i * {k}.0;
+                }}
+            }}
+#pragma omp section
+            {{
+                for (int i = 0; i < N; i++) {{
+                    {b}[i] = ({T})i + {k}.0;
+                }}
+            }}
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref_a[i]')}) {{
+            err = err + 1;
+        }}
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref_b[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("sections test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("sections test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("single_master_critical", ("omp",), ("c", "cpp"), ("omp.single", "omp.master", "omp.critical", "omp.barrier"))
+def t_single_master_critical(ctx: TemplateContext) -> str:
+    kind = ctx.rng.choice(["single", "master", "critical"])
+    return f"""{ctx.header}
+int main() {{
+    int counter = 0;
+    int flag = 0;
+#pragma omp parallel
+    {{
+#pragma omp {kind}
+        {{
+            counter = counter + 1;
+            flag = 1;
+        }}
+#pragma omp barrier
+    }}
+    if (flag != 1) {{
+        printf("{kind} region did not execute\\n");
+        return 1;
+    }}
+    if (counter < 1) {{
+        printf("counter not incremented\\n");
+        return 1;
+    }}
+    printf("{kind} test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("simd_loop", ("omp",), ("c", "cpp"), ("omp.simd",))
+def t_simd(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    variant = ctx.rng.choice(["simd", "parallel for simd", "simd simdlen(8)"])
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 33);
+        ref[i] = {a}[i] - {k}.0;
+    }}
+#pragma omp {variant}
+    for (int i = 0; i < N; i++) {{
+        {b}[i] = {a}[i] - {k}.0;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("simd test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("simd test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("task_basic", ("omp",), ("c", "cpp"), ("omp.task",))
+def t_task(ctx: TemplateContext) -> str:
+    n = ctx.rng.choice([64, 128])
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    int results[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        results[i] = 0;
+    }}
+#pragma omp parallel
+    {{
+#pragma omp single
+        {{
+            for (int i = 0; i < N; i++) {{
+#pragma omp task firstprivate(i)
+                {{
+                    results[i] = i * {ctx.coeff};
+                }}
+            }}
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if (results[i] != i * {ctx.coeff}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("task test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("task test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("lastprivate", ("omp",), ("c", "cpp"), ("omp.lastprivate",))
+def t_lastprivate(ctx: TemplateContext) -> str:
+    n = ctx.size
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    int last = -1;
+#pragma omp parallel for lastprivate(last)
+    for (int i = 0; i < N; i++) {{
+        last = i;
+    }}
+    if (last != N - 1) {{
+        printf("lastprivate mismatch: got %d expected %d\\n", last, N - 1);
+        return 1;
+    }}
+    printf("lastprivate test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("teams_distribute", ("omp",), ("c", "cpp"), ("omp.teams", "omp.distribute"))
+def t_teams_distribute(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})i;
+        ref[i] = ({T})i * {k}.0;
+    }}
+#pragma omp target teams map(tofrom: {a}[0:{n}])
+    {{
+#pragma omp distribute
+        for (int i = 0; i < N; i++) {{
+            {a}[i] = {a}[i] * {k}.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("teams distribute failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("teams distribute passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("target_defaultmap", ("omp",), ("c", "cpp"), ("omp.target", "omp.defaultmap"))
+def t_target_defaultmap(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 27);
+        ref[i] = {a}[i] + {k}.0;
+    }}
+#pragma omp target map(tofrom: {a}[0:{n}])
+    {{
+        for (int i = 0; i < N; i++) {{
+            {a}[i] = {a}[i] + {k}.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{a}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("target test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("target test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("dot_product", ("acc", "omp"), ("c", "cpp"), ("acc.reduction.add", "omp.reduction.add"))
+def t_dot_product(ctx: TemplateContext) -> str:
+    x, y, _ = ctx.names
+    n, T = ctx.size, ctx.dtype
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop copyin({x}[0:{n}], {y}[0:{n}]) reduction(+:dot)"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for "
+            f"map(to: {x}[0:{n}], {y}[0:{n}]) reduction(+:dot)"
+        )
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {x}[N];
+    {T} {y}[N];
+    {T} dot = 0.0;
+    {T} expected = 0.0;
+    for (int i = 0; i < N; i++) {{
+        {x}[i] = ({T})(i % 9);
+        {y}[i] = ({T})(i % 4);
+        expected += {x}[i] * {y}[i];
+    }}
+{pragma}
+    for (int i = 0; i < N; i++) {{
+        dot += {x}[i] * {y}[i];
+    }}
+    if ({ctx.tolerance_check('dot', 'expected')}) {{
+        printf("dot product mismatch\\n");
+        return 1;
+    }}
+    printf("dot product passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("histogram_atomic", ("acc", "omp"), ("c", "cpp"), ("acc.atomic", "omp.atomic"))
+def t_histogram_atomic(ctx: TemplateContext) -> str:
+    a, _, _ = ctx.names
+    n = ctx.size
+    bins = ctx.rng.choice([4, 8])
+    if ctx.model == "acc":
+        outer = f"#pragma acc parallel loop copyin({a}[0:{n}]) copy(hist)"
+        atomic = "#pragma acc atomic update"
+    else:
+        outer = "#pragma omp parallel for shared(hist)"
+        atomic = "#pragma omp atomic update"
+    return f"""{ctx.header}#define N {n}
+#define BINS {bins}
+
+int main() {{
+    int {a}[N];
+    int hist[BINS];
+    int ref[BINS];
+    int err = 0;
+    for (int b = 0; b < BINS; b++) {{
+        hist[b] = 0;
+        ref[b] = 0;
+    }}
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = (i * {ctx.coeff + 5}) % BINS;
+        ref[{a}[i]] = ref[{a}[i]] + 1;
+    }}
+{outer}
+    for (int i = 0; i < N; i++) {{
+{atomic}
+        hist[{a}[i]] = hist[{a}[i]] + 1;
+    }}
+    for (int b = 0; b < BINS; b++) {{
+        if (hist[b] != ref[b]) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("histogram failed: %d bins wrong\\n", err);
+        return 1;
+    }}
+    printf("histogram passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("pointer_swap_buffers", ("acc", "omp"), ("c", "cpp"), ("acc.data.copy", "omp.target.map-tofrom"))
+def t_pointer_swap(ctx: TemplateContext) -> str:
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    steps = ctx.rng.choice([2, 4])
+    if ctx.model == "acc":
+        pragma = f"#pragma acc parallel loop copyin(cur[0:{n}]) copyout(nxt[0:{n}])"
+    else:
+        pragma = (
+            f"#pragma omp target teams distribute parallel for "
+            f"map(to: cur[0:{n}]) map(from: nxt[0:{n}])"
+        )
+    return f"""{ctx.header}#define N {n}
+#define STEPS {steps}
+
+int main() {{
+    {T} *cur = ({T}*)malloc(N * sizeof({T}));
+    {T} *nxt = ({T}*)malloc(N * sizeof({T}));
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        cur[i] = ({T})(i % 5);
+        ref[i] = cur[i];
+    }}
+    for (int s = 0; s < STEPS; s++) {{
+        for (int i = 0; i < N; i++) {{
+            ref[i] = ref[i] + {k}.0;
+        }}
+    }}
+    for (int s = 0; s < STEPS; s++) {{
+{pragma}
+        for (int i = 0; i < N; i++) {{
+            nxt[i] = cur[i] + {k}.0;
+        }}
+        {T} *swap = cur;
+        cur = nxt;
+        nxt = swap;
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check('cur[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("buffer swap failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("buffer swap passed\\n");
+    free(cur);
+    free(nxt);
+    return 0;
+}}
+"""
+
+
+@template("nested_loops_inner_seq", ("acc",), ("c", "cpp"), ("acc.loop.gang", "acc.loop.seq"))
+def t_nested_inner_seq(ctx: TemplateContext) -> str:
+    rows = ctx.rng.choice([16, 24])
+    cols = ctx.rng.choice([16, 32])
+    T = ctx.dtype
+    return f"""{ctx.header}#define R {rows}
+#define C {cols}
+
+int main() {{
+    {T} m[R][C];
+    {T} rowsum[R];
+    {T} ref[R];
+    int err = 0;
+    for (int i = 0; i < R; i++) {{
+        ref[i] = 0.0;
+        rowsum[i] = 0.0;
+        for (int j = 0; j < C; j++) {{
+            m[i][j] = ({T})((i * j) % 7);
+            ref[i] += m[i][j];
+        }}
+    }}
+#pragma acc parallel copyin(m) copyout(rowsum)
+    {{
+#pragma acc loop gang
+        for (int i = 0; i < R; i++) {{
+            {T} acc_total = 0.0;
+#pragma acc loop seq
+            for (int j = 0; j < C; j++) {{
+                acc_total += m[i][j];
+            }}
+            rowsum[i] = acc_total;
+        }}
+    }}
+    for (int i = 0; i < R; i++) {{
+        if ({ctx.tolerance_check('rowsum[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("nested loop test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("nested loop test passed\\n");
+    return 0;
+}}
+"""
+
+
+@template("barrier_phases", ("omp",), ("c", "cpp"), ("omp.barrier", "omp.parallel"))
+def t_barrier_phases(ctx: TemplateContext) -> str:
+    a, b, _ = ctx.names
+    n, k, T = ctx.size, ctx.coeff, ctx.dtype
+    return f"""{ctx.header}#define N {n}
+
+int main() {{
+    {T} {a}[N];
+    {T} {b}[N];
+    {T} ref[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {{
+        {a}[i] = ({T})(i % 13);
+        ref[i] = ({a}[i] + {k}.0) * 2.0;
+    }}
+#pragma omp parallel
+    {{
+#pragma omp for
+        for (int i = 0; i < N; i++) {{
+            {b}[i] = {a}[i] + {k}.0;
+        }}
+#pragma omp barrier
+#pragma omp for
+        for (int i = 0; i < N; i++) {{
+            {b}[i] = {b}[i] * 2.0;
+        }}
+    }}
+    for (int i = 0; i < N; i++) {{
+        if ({ctx.tolerance_check(f'{b}[i]', 'ref[i]')}) {{
+            err = err + 1;
+        }}
+    }}
+    if (err != 0) {{
+        printf("barrier phase test failed: %d errors\\n", err);
+        return 1;
+    }}
+    printf("barrier phase test passed\\n");
+    return 0;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Fortran templates (OpenACC; the paper's Part One Fortran coverage)
+# ---------------------------------------------------------------------------
+
+
+@template("f_vector_add", ("acc",), ("f90",), ("acc.parallel-loop", "acc.data.copyin-copyout"))
+def t_f_vector_add(ctx: TemplateContext) -> str:
+    n = ctx.rng.choice([64, 100, 128])
+    k = ctx.coeff
+    return f"""program vecadd
+  implicit none
+  integer :: i, n
+  real(8) :: a({n}), b({n}), c({n}), expected({n})
+  integer :: err
+  n = {n}
+  err = 0
+  do i = 1, n
+    a(i) = i * 0.5
+    b(i) = i * {k}.0
+    expected(i) = a(i) + b(i)
+  end do
+  !$acc parallel loop copyin(a, b) copyout(c)
+  do i = 1, n
+    c(i) = a(i) + b(i)
+  end do
+  do i = 1, n
+    if (abs(c(i) - expected(i)) > 1.0e-9) then
+      err = err + 1
+    end if
+  end do
+  if (err > 0) then
+    print *, "vector add FAILED"
+    stop 1
+  end if
+  print *, "vector add PASSED"
+end program vecadd
+"""
+
+
+@template("f_reduction", ("acc",), ("f90",), ("acc.reduction.add",))
+def t_f_reduction(ctx: TemplateContext) -> str:
+    n = ctx.rng.choice([64, 100, 128])
+    return f"""program redsum
+  implicit none
+  integer :: i, n
+  real(8) :: a({n})
+  real(8) :: total, expected
+  n = {n}
+  total = 0.0
+  expected = 0.0
+  do i = 1, n
+    a(i) = i * 1.0
+    expected = expected + a(i)
+  end do
+  !$acc parallel loop copyin(a) reduction(+:total)
+  do i = 1, n
+    total = total + a(i)
+  end do
+  if (abs(total - expected) > 1.0e-9) then
+    print *, "reduction FAILED"
+    stop 1
+  end if
+  print *, "reduction PASSED"
+end program redsum
+"""
+
+
+@template("f_scale", ("acc",), ("f90",), ("acc.parallel-loop",))
+def t_f_scale(ctx: TemplateContext) -> str:
+    n = ctx.rng.choice([64, 100, 128])
+    k = ctx.coeff
+    return f"""program scale
+  implicit none
+  integer :: i, n
+  real(8) :: a({n}), expected({n})
+  integer :: err
+  n = {n}
+  err = 0
+  do i = 1, n
+    a(i) = i * 1.0
+    expected(i) = a(i) * {k}.0
+  end do
+  !$acc parallel loop copy(a)
+  do i = 1, n
+    a(i) = a(i) * {k}.0
+  end do
+  do i = 1, n
+    if (abs(a(i) - expected(i)) > 1.0e-9) then
+      err = err + 1
+    end if
+  end do
+  if (err > 0) then
+    print *, "scale FAILED"
+    stop 1
+  end if
+  print *, "scale PASSED"
+end program scale
+"""

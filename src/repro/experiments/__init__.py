@@ -1,0 +1,15 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+:class:`~repro.experiments.runner.Experiments` owns the shared
+artifacts (corpora, probing populations, pipeline runs) and exposes
+``table1()`` … ``table9()`` and ``fig3()`` … ``fig6()``, each returning
+the regenerated artifact plus the paper's published values for
+comparison.  ``repro.experiments.paperdata`` holds every published cell
+so EXPERIMENTS.md is generated, never hand-edited.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.environment import EnvironmentModel
+from repro.experiments.runner import Experiments
+
+__all__ = ["ExperimentConfig", "EnvironmentModel", "Experiments"]

@@ -1,0 +1,166 @@
+"""Programmatic ablation studies over the reproduction's design knobs.
+
+DESIGN.md §7 calls out three questions the paper leaves open; each has
+a runner here (and a bench in ``benchmarks/``):
+
+* :func:`early_exit_ablation` — how much judge work does the staged
+  pipeline's early exit save, at what (zero) accuracy cost?
+* :func:`flake_rate_sweep` — how does real-toolchain nonconformance on
+  valid files move pipeline-vs-judge accuracy apart (the effect behind
+  the paper's Table IV/VII gap)?
+* :func:`seed_variance` — how stable are the headline metrics across
+  model seeds (the paper reports single runs)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.generator import TestFile
+from repro.experiments.environment import EnvironmentModel
+from repro.llm.model import DeepSeekCoderSim
+from repro.metrics.accuracy import MetricsReport, score_evaluations
+from repro.pipeline.engine import PipelineConfig, ValidationPipeline
+
+
+@dataclass
+class EarlyExitResult:
+    accuracy_record_all: float
+    accuracy_early_exit: float
+    judge_calls_record_all: int
+    judge_calls_early_exit: int
+    simulated_seconds_record_all: float
+    simulated_seconds_early_exit: float
+
+    @property
+    def judge_calls_saved(self) -> int:
+        return self.judge_calls_record_all - self.judge_calls_early_exit
+
+    @property
+    def speedup(self) -> float:
+        if self.simulated_seconds_early_exit <= 0:
+            return 1.0
+        return self.simulated_seconds_record_all / self.simulated_seconds_early_exit
+
+
+def early_exit_ablation(
+    files: list[TestFile], flavor: str = "acc", model_seed: int = 11
+) -> EarlyExitResult:
+    """Run the pipeline both ways over one population."""
+    results = {}
+    for early_exit in (False, True):
+        pipeline = ValidationPipeline(
+            PipelineConfig(flavor=flavor, early_exit=early_exit),
+            model=DeepSeekCoderSim(seed=model_seed),
+        )
+        run = pipeline.run(files)
+        verdicts = [r.pipeline_says_valid for r in run.records]
+        ordered = [r.test for r in run.records]
+        report = score_evaluations("pipeline", ordered, verdicts)
+        results[early_exit] = (report, run.stats)
+    report_all, stats_all = results[False]
+    report_early, stats_early = results[True]
+    return EarlyExitResult(
+        accuracy_record_all=report_all.overall_accuracy,
+        accuracy_early_exit=report_early.overall_accuracy,
+        judge_calls_record_all=stats_all.judge.processed,
+        judge_calls_early_exit=stats_early.judge.processed,
+        simulated_seconds_record_all=stats_all.judge.simulated_seconds,
+        simulated_seconds_early_exit=stats_early.judge.simulated_seconds,
+    )
+
+
+@dataclass
+class FlakeSweepPoint:
+    flake_rate: float
+    pipeline_valid_accuracy: float
+    judge_valid_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        return self.judge_valid_accuracy - self.pipeline_valid_accuracy
+
+
+def flake_rate_sweep(
+    files: list[TestFile],
+    rates: tuple[float, ...] = (0.0, 0.07, 0.14, 0.28),
+    flavor: str = "acc",
+    model_seed: int = 11,
+) -> list[FlakeSweepPoint]:
+    """Sweep toolchain-flake rates; measure the pipeline/judge gap on
+    valid files (the paper's Table IV vs VII discrepancy mechanism)."""
+    points: list[FlakeSweepPoint] = []
+    for rate in rates:
+        pipeline = ValidationPipeline(
+            PipelineConfig(flavor=flavor, early_exit=False),
+            model=DeepSeekCoderSim(seed=model_seed),
+            environment=EnvironmentModel(compile_flake_rate=rate, seed=3),
+        )
+        run = pipeline.run(files)
+        valid_records = [r for r in run.records if r.test.is_valid]
+        if not valid_records:
+            continue
+        pipeline_ok = sum(1 for r in valid_records if r.pipeline_says_valid)
+        judge_ok = sum(
+            1
+            for r in valid_records
+            if r.judge_result is not None and r.judge_result.says_valid
+        )
+        points.append(
+            FlakeSweepPoint(
+                flake_rate=rate,
+                pipeline_valid_accuracy=pipeline_ok / len(valid_records),
+                judge_valid_accuracy=judge_ok / len(valid_records),
+            )
+        )
+    return points
+
+
+@dataclass
+class SeedVarianceResult:
+    seeds: list[int]
+    accuracies: list[float]
+    biases: list[float]
+    reports: list[MetricsReport] = field(default_factory=list)
+
+    @property
+    def accuracy_mean(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def accuracy_std(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def bias_mean(self) -> float:
+        return float(np.mean(self.biases))
+
+
+def seed_variance(
+    files: list[TestFile],
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    flavor: str = "acc",
+    judge_kind: str = "direct",
+) -> SeedVarianceResult:
+    """Replicate the pipeline run across model seeds.
+
+    The paper reports one run per configuration; this quantifies how
+    much of each cell is sampling noise from the judge's stochastic
+    decisions.
+    """
+    result = SeedVarianceResult(seeds=list(seeds), accuracies=[], biases=[])
+    for seed in seeds:
+        pipeline = ValidationPipeline(
+            PipelineConfig(flavor=flavor, judge_kind=judge_kind, early_exit=False),
+            model=DeepSeekCoderSim(seed=seed),
+        )
+        run = pipeline.run(files)
+        verdicts = [r.pipeline_says_valid for r in run.records]
+        ordered = [r.test for r in run.records]
+        report = score_evaluations(f"seed={seed}", ordered, verdicts)
+        result.accuracies.append(report.overall_accuracy)
+        result.biases.append(report.bias)
+        result.reports.append(report)
+    return result

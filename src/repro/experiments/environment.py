@@ -1,0 +1,76 @@
+"""Toolchain-environment model: nonconformance on *valid* tests.
+
+The paper ran against real toolchains (NVIDIA HPC SDK ``nvc``, LLVM
+OpenMP offload), which reject a fraction of perfectly valid manually
+written V&V tests — unsupported feature combinations, frontend bugs,
+partial compliance.  That is visible in the published numbers: pipeline
+accuracy on unchanged OpenACC files (79%, Table IV) sits well below
+the agent judge's own accuracy on them (92%, Table VII), which is only
+possible if some valid files never made it through compile/run.
+
+Our simulated toolchain is fully conformant by construction, so this
+model re-injects that effect: a deterministic, seeded fraction of files
+has its successful compile replaced by a ``toolchain-limitation``
+failure.  The synthetic stderr mimics the real failure class — and the
+judge (correctly) gives such environment noise little weight, which is
+what lets LLMJ-alone accuracy stay high while the pipeline rejects the
+file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.compiler.driver import CompileResult
+from repro.corpus.generator import TestFile
+
+_STDERR_TEMPLATE = (
+    "{name}: error: internal compiler limitation: unsupported feature "
+    "combination for this offload target [-Wtoolchain-limitation]\n"
+    "1 error generated."
+)
+
+
+@dataclass(frozen=True)
+class EnvironmentModel:
+    """Deterministic per-file toolchain flakiness.
+
+    ``compile_flake_rate`` is the probability (over the seeded hash of
+    the file name) that a *successful* compile is replaced by a
+    toolchain-limitation failure.  Files that already fail are left
+    untouched — real nonconformance only ever costs you good tests.
+    """
+
+    compile_flake_rate: float = 0.0
+    seed: int = 7
+
+    def is_flaky(self, name: str) -> bool:
+        if self.compile_flake_rate <= 0.0:
+            return False
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return fraction < self.compile_flake_rate
+
+    def apply(self, test: TestFile, compiled: CompileResult) -> CompileResult:
+        """Post-process one compile result."""
+        if not compiled.ok or not self.is_flaky(test.name):
+            return compiled
+        return CompileResult(
+            returncode=2,
+            stdout="",
+            stderr=_STDERR_TEMPLATE.format(name=test.name),
+            filename=compiled.filename,
+            language=compiled.language,
+            unit=None,
+            info=compiled.info,
+            diagnostic_codes=["toolchain-limitation"],
+            error_count=1,
+            warning_count=0,
+        )
+
+
+#: Calibrated rates: the ACC toolchain of the paper rejected ~14% of the
+#: valid manually-written suite, the OpenMP (<=4.5-restricted) corpus
+#: almost none — the paper filtered it to fully-supported features.
+DEFAULT_FLAKE_RATES = {"acc": 0.14, "omp": 0.015}

@@ -1,0 +1,187 @@
+"""Every published cell of the paper's tables, as structured data.
+
+Used to (a) generate EXPERIMENTS.md's paper-vs-measured comparison and
+(b) sanity-check that reproduced results fall in the published bands.
+Figures 3-6 plot the same quantities as the tables; their published
+axis values are derived here from the table cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ISSUE_ORDER = [0, 1, 2, 3, 4, 5]
+
+
+@dataclass(frozen=True)
+class PaperIssueTable:
+    """One per-issue published table (or one judge's half of it)."""
+
+    label: str
+    counts: dict[int, int]
+    correct: dict[int, int]
+
+    def accuracy(self, issue: int) -> float:
+        return self.correct[issue] / self.counts[issue]
+
+    def accuracies(self) -> dict[int, float]:
+        return {i: self.accuracy(i) for i in ISSUE_ORDER}
+
+
+@dataclass(frozen=True)
+class PaperOverall:
+    label: str
+    total_count: int
+    total_mistakes: int
+    overall_accuracy: float  # fraction
+    bias: float
+
+
+def _table(label: str, counts: list[int], correct: list[int]) -> PaperIssueTable:
+    return PaperIssueTable(
+        label=label,
+        counts=dict(zip(ISSUE_ORDER, counts)),
+        correct=dict(zip(ISSUE_ORDER, correct)),
+    )
+
+
+# --------------------------------------------------------------------------
+# Part One: direct (tool-less) LLMJ — Tables I-III
+# --------------------------------------------------------------------------
+
+TABLE_I = _table(
+    "Direct LLMJ (OpenACC)",
+    counts=[203, 125, 108, 117, 114, 668],
+    correct=[31, 15, 16, 94, 14, 586],
+)
+
+TABLE_II = _table(
+    "Direct LLMJ (OpenMP)",
+    counts=[59, 39, 33, 51, 33, 216],
+    correct=[28, 29, 21, 2, 11, 84],
+)
+
+TABLE_III = {
+    "acc": PaperOverall("Direct LLMJ", 1335, 579, 0.5663, 0.717),
+    "omp": PaperOverall("Direct LLMJ", 431, 256, 0.4060, -0.031),
+}
+
+# --------------------------------------------------------------------------
+# Part Two: validation pipeline — Tables IV-VI
+# --------------------------------------------------------------------------
+
+TABLE_IV = {
+    "Pipeline 1": _table(
+        "Pipeline 1 (OpenACC)",
+        counts=[272, 146, 151, 146, 176, 891],
+        correct=[250, 146, 151, 146, 38, 704],
+    ),
+    "Pipeline 2": _table(
+        "Pipeline 2 (OpenACC)",
+        counts=[272, 146, 151, 146, 176, 891],
+        correct=[251, 146, 151, 146, 53, 627],
+    ),
+}
+
+TABLE_V = {
+    "Pipeline 1": _table(
+        "Pipeline 1 (OpenMP)",
+        counts=[49, 28, 26, 20, 25, 148],
+        correct=[47, 28, 26, 14, 23, 136],
+    ),
+    "Pipeline 2": _table(
+        "Pipeline 2 (OpenMP)",
+        counts=[49, 28, 26, 20, 25, 148],
+        correct=[46, 28, 26, 17, 23, 138],
+    ),
+}
+
+TABLE_VI = {
+    "acc": [
+        PaperOverall("Pipeline 1", 1782, 347, 0.8053, -0.078),
+        PaperOverall("Pipeline 2", 1782, 408, 0.7710, -0.294),
+    ],
+    "omp": [
+        PaperOverall("Pipeline 1", 296, 22, 0.9257, -0.091),
+        PaperOverall("Pipeline 2", 296, 18, 0.9392, -0.111),
+    ],
+}
+
+# --------------------------------------------------------------------------
+# Part Two: agent-based LLMJ — Tables VII-IX
+# --------------------------------------------------------------------------
+
+TABLE_VII = {
+    "LLMJ 1": _table(
+        "LLMJ 1 (OpenACC)",
+        counts=[272, 146, 151, 146, 176, 891],
+        correct=[182, 111, 128, 142, 26, 819],
+    ),
+    "LLMJ 2": _table(
+        "LLMJ 2 (OpenACC)",
+        counts=[272, 146, 151, 146, 176, 891],
+        correct=[224, 81, 126, 146, 47, 701],
+    ),
+}
+
+TABLE_VIII = {
+    "LLMJ 1": _table(
+        "LLMJ 1 (OpenMP)",
+        counts=[49, 28, 26, 20, 25, 148],
+        correct=[23, 16, 18, 13, 18, 137],
+    ),
+    "LLMJ 2": _table(
+        "LLMJ 2 (OpenMP)",
+        counts=[49, 28, 26, 20, 25, 148],
+        correct=[22, 13, 15, 17, 12, 142],
+    ),
+}
+
+TABLE_IX = {
+    "acc": [
+        PaperOverall("LLMJ 1", 1782, 374, 0.7901, 0.615),
+        PaperOverall("LLMJ 2", 1782, 457, 0.7435, 0.168),
+    ],
+    "omp": [
+        PaperOverall("LLMJ 1", 296, 71, 0.7601, 0.690),
+        PaperOverall("LLMJ 2", 296, 75, 0.7466, 0.840),
+    ],
+}
+
+# --------------------------------------------------------------------------
+# Figures 3-6: radar axes derived from the tables
+# --------------------------------------------------------------------------
+
+RADAR_AXES = ["model errors", "improper syntax", "no directives", "test logic"]
+RADAR_AXES_WITH_VALID = RADAR_AXES + ["valid tests"]
+
+
+def _radar_from_table(table: PaperIssueTable, include_valid: bool) -> dict[str, float]:
+    groups = {
+        "model errors": (0,),
+        "improper syntax": (1, 2),
+        "no directives": (3,),
+        "test logic": (4,),
+    }
+    if include_valid:
+        groups["valid tests"] = (5,)
+    out: dict[str, float] = {}
+    for axis, issues in groups.items():
+        total = sum(table.counts[i] for i in issues)
+        correct = sum(table.correct[i] for i in issues)
+        out[axis] = correct / total
+    return out
+
+
+FIGURE_3 = {label: _radar_from_table(t, False) for label, t in TABLE_IV.items()}
+FIGURE_4 = {label: _radar_from_table(t, False) for label, t in TABLE_V.items()}
+FIGURE_5 = {
+    "Direct LLMJ": _radar_from_table(TABLE_I, True),
+    "LLMJ 1": _radar_from_table(TABLE_VII["LLMJ 1"], True),
+    "LLMJ 2": _radar_from_table(TABLE_VII["LLMJ 2"], True),
+}
+FIGURE_6 = {
+    "Direct LLMJ": _radar_from_table(TABLE_II, True),
+    "LLMJ 1": _radar_from_table(TABLE_VIII["LLMJ 1"], True),
+    "LLMJ 2": _radar_from_table(TABLE_VIII["LLMJ 2"], True),
+}

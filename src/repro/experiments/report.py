@@ -1,0 +1,203 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artifact.
+
+The report is generated, never hand-edited: every published cell comes
+from :mod:`repro.experiments.paperdata`, every measured cell from a
+fresh :class:`~repro.experiments.runner.Experiments` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import paperdata
+from repro.experiments.paperdata import PaperIssueTable, PaperOverall
+from repro.experiments.runner import Experiments, FigureResult, TableResult
+from repro.metrics.accuracy import MetricsReport
+from repro.probing.mutators import ISSUE_DESCRIPTIONS
+
+_ISSUE_SHORT = {
+    0: "removed alloc / swapped directive",
+    1: "removed opening bracket",
+    2: "undeclared variable",
+    3: "random non-directive code",
+    4: "removed last bracketed section",
+    5: "no issue",
+}
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    out.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(out)
+
+
+def _issue_comparison(measured: MetricsReport, paper: PaperIssueTable) -> str:
+    rows = []
+    for issue in range(6):
+        row = measured.row_for(issue)
+        if row is None:
+            continue
+        paper_acc = paper.accuracy(issue)
+        delta = row.accuracy - paper_acc
+        rows.append(
+            [
+                _ISSUE_SHORT[issue],
+                f"{paper_acc:.0%}",
+                f"{row.accuracy:.0%}",
+                f"{delta:+.0%}",
+            ]
+        )
+    return _md_table(["issue", "paper", "measured", "delta"], rows)
+
+
+def _overall_comparison(measured: MetricsReport, paper: PaperOverall) -> list[str]:
+    return [
+        f"overall accuracy: paper {paper.overall_accuracy:.2%} → measured "
+        f"{measured.overall_accuracy:.2%}",
+        f"bias: paper {paper.bias:+.3f} → measured {measured.bias:+.3f}",
+    ]
+
+
+def _table_section(result: TableResult) -> str:
+    lines = [f"## {result.title}", ""]
+    paper = result.paper
+    if isinstance(paper, PaperIssueTable):
+        lines.append(_issue_comparison(result.reports[0], paper))
+    elif isinstance(paper, dict) and all(isinstance(v, PaperIssueTable) for v in paper.values()):
+        for report, (label, table) in zip(result.reports, paper.items()):
+            lines.append(f"**{label}**")
+            lines.append("")
+            lines.append(_issue_comparison(report, table))
+            lines.append("")
+    elif isinstance(paper, dict):
+        # overall tables: {"acc": [PaperOverall, ...], "omp": [...]}
+        idx = 0
+        for flavor, entries in paper.items():
+            entries = entries if isinstance(entries, list) else [entries]
+            name = {"acc": "OpenACC", "omp": "OpenMP"}.get(flavor, flavor)
+            for entry in entries:
+                measured = result.reports[idx]
+                idx += 1
+                lines.append(f"**{name} — {entry.label}**")
+                lines.extend(f"- {line}" for line in _overall_comparison(measured, entry))
+                lines.append("")
+    lines.append("")
+    lines.append("Measured table:")
+    lines.append("")
+    lines.append("```")
+    lines.append(result.text)
+    lines.append("```")
+    return "\n".join(lines)
+
+
+def _figure_section(result: FigureResult) -> str:
+    lines = [f"## {result.title}", ""]
+    headers = ["series", "axis", "paper", "measured", "delta"]
+    rows: list[list[str]] = []
+    for series in result.series:
+        paper_series = _match_paper_series(result.paper, series.label)
+        for axis, value in zip(series.axes, series.values):
+            paper_value = paper_series.get(axis) if paper_series else None
+            rows.append(
+                [
+                    series.label,
+                    axis,
+                    f"{paper_value:.0%}" if paper_value is not None else "-",
+                    f"{value:.0%}",
+                    f"{value - paper_value:+.0%}" if paper_value is not None else "-",
+                ]
+            )
+    lines.append(_md_table(headers, rows))
+    lines.append("")
+    lines.append("```")
+    lines.append(result.text)
+    lines.append("```")
+    return "\n".join(lines)
+
+
+def _match_paper_series(paper: dict, label: str) -> dict | None:
+    if label in paper:
+        return paper[label]
+    for key, value in paper.items():
+        if key.lower().startswith(label.lower()[:6]) or label.lower().startswith(key.lower()[:6]):
+            return value
+    return None
+
+
+def build_experiments_md(exp: Experiments) -> str:
+    """Render the full paper-vs-measured report."""
+    cfg = exp.config
+    header = f"""# EXPERIMENTS — paper vs. measured
+
+Reproduction of every table and figure of *LLM4VV: Exploring
+LLM-as-a-Judge for Validation and Verification Testsuites*
+(arXiv:2408.11729).
+
+Run configuration: scale = **{cfg.scale}**, corpus seed = {cfg.seed},
+model seed = {cfg.model_seed}, OpenMP max version = {cfg.openmp_max_version},
+toolchain flake rates = {cfg.flake_rates}.
+
+Reading guide: absolute accuracies depend on the frozen capability
+profile of the simulated judge (DESIGN.md §5); the claims to check are
+the *shapes* — which judge wins per issue class, where the pipeline is
+near-perfect (compiler-detectable mutations) and where it stays weak
+(removed last bracketed section), the direction and rough magnitude of
+each bias, and OpenMP-vs-OpenACC orderings.  Population sizes below
+differ from the paper when scale != "paper"; accuracies, not counts,
+are the comparison targets.  Known residual deviations are listed at
+the bottom.
+
+"""
+    sections = [header]
+    for result in exp.all_tables():
+        sections.append(_table_section(result))
+        sections.append("")
+    for figure in exp.all_figures():
+        sections.append(_figure_section(figure))
+        sections.append("")
+    sections.append(_residuals_section())
+    return "\n".join(sections)
+
+
+def _residuals_section() -> str:
+    return """## Known residual deviations
+
+* **Pipeline accuracy on compile-detectable mutations (issues 0-2) is
+  ~100% here vs 92-100% in the paper.**  Our front-end is fully
+  conforming by construction; the paper's real toolchains occasionally
+  accepted mutants (e.g. a directive swap that happened to form valid
+  syntax for that compiler).
+* **OpenMP direct-judge accuracy on issues 0 and 4 runs ~10-25 points
+  above the paper's 47%/33%.**  The published cells sit *below* the
+  same judge's false-alarm floor on valid files (61%), which a
+  per-signal detection model cannot reproduce exactly; the shape
+  (near-coin-flip judging of OpenMP code without tools) is preserved.
+* **OpenMP pipeline accuracy on "removed last bracketed section" is
+  ~55-70% here vs the paper's 92%, and the OpenMP pipelines' bias comes
+  out positive rather than ~0.**  In the paper's OpenMP corpus most
+  issue-4 mutants evidently failed compile or run (92% caught while the
+  same judges alone caught 48-72%); our mutator always removes a
+  complete block (the final self-check), which keeps every mutant
+  compilable, so only the judge can catch it.  The remaining mistakes
+  are therefore permissive, flipping the small bias positive.  The
+  OpenACC side — where the paper's own pipeline also failed to catch
+  these (22-30%) — matches closely.
+* **Counts differ at non-paper scales** (the issue *mix* is preserved);
+  at scale="paper" populations match the published totals (1335/431
+  Part One, 1782/296 Part Two).
+* The ``trust_environment_error`` mechanism (DESIGN.md §5) reproduces
+  the paper's otherwise-contradictory pair "pipeline 79% vs LLMJ-alone
+  92% on valid OpenACC files": valid files rejected by a flaky real
+  toolchain fail the pipeline but are still (correctly) passed by the
+  judge reading the same tool output.
+"""
+
+
+def write_experiments_md(exp: Experiments, path: str | Path = "EXPERIMENTS.md") -> Path:
+    out = Path(path)
+    out.write_text(build_experiments_md(exp))
+    return out
+
+
+ISSUE_DESCRIPTIONS_USED = ISSUE_DESCRIPTIONS  # re-export for doc tooling
+PAPERDATA_USED = paperdata  # keep the provenance import explicit

@@ -1,0 +1,28 @@
+"""Automated compiler-test generation with LLMJ filtering (extension).
+
+The paper's conclusion names "automation of compiler test generation
+based on lessons learnt" as future work, building on the authors' prior
+LLM4VV generation study (arXiv:2310.04963).  This package closes that
+loop with the pieces this repository already has:
+
+* :class:`~repro.generation.model.CodeGenSim` — a simulated
+  code-generation model: prompted with a target feature, it emits a
+  candidate compiler test with the *defect profile* the prior study
+  measured (a configurable fraction of candidates fail to compile,
+  fail at run time, or silently lack verification logic);
+* :class:`~repro.generation.builder.AutomatedSuiteBuilder` — drives
+  generation per catalog feature, pushes every candidate through the
+  validation pipeline (the paper's method), and assembles the accepted
+  suite with yield and coverage reporting.
+"""
+
+from repro.generation.builder import AutomatedSuiteBuilder, BuildReport
+from repro.generation.model import CandidateTest, CodeGenSim, GenerationDefect
+
+__all__ = [
+    "AutomatedSuiteBuilder",
+    "BuildReport",
+    "CandidateTest",
+    "CodeGenSim",
+    "GenerationDefect",
+]

@@ -1,0 +1,110 @@
+"""Automated suite construction: generate → validate → accept.
+
+``AutomatedSuiteBuilder`` is the closed loop the LLM4VV project aims
+for: a generation model proposes candidate tests per catalog feature,
+the validation pipeline (the paper's contribution) filters them, and
+the accepted suite ships with yield statistics and a coverage report —
+no human in the loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.validator import TestsuiteValidator
+from repro.corpus.coverage import CoverageReport, measure_coverage
+from repro.corpus.features import catalog
+from repro.corpus.generator import TestFile
+from repro.corpus.suite import TestSuite
+from repro.generation.model import CandidateTest, CodeGenSim, GenerationDefect
+
+
+@dataclass
+class BuildReport:
+    """Outcome of one automated build."""
+
+    flavor: str
+    candidates_total: int = 0
+    accepted: list[TestFile] = field(default_factory=list)
+    rejected_by_stage: Counter = field(default_factory=Counter)
+    false_accepts: int = 0  # defective candidates the pipeline passed
+    false_rejects: int = 0  # clean candidates the pipeline rejected
+    defects_seen: Counter = field(default_factory=Counter)
+
+    @property
+    def yield_fraction(self) -> float:
+        return len(self.accepted) / self.candidates_total if self.candidates_total else 0.0
+
+    def coverage(self) -> CoverageReport:
+        return measure_coverage(self.flavor, self.accepted)
+
+    def suite(self, name: str = "auto-generated") -> TestSuite:
+        return TestSuite(name, self.flavor, list(self.accepted))
+
+    def render(self) -> str:
+        lines = [
+            f"Automated build ({self.flavor}): {len(self.accepted)}/"
+            f"{self.candidates_total} candidates accepted "
+            f"({self.yield_fraction:.0%} yield)",
+            f"  rejected by stage: {dict(self.rejected_by_stage)}",
+            f"  defect mix generated: "
+            f"{ {d.value: n for d, n in self.defects_seen.items()} }",
+            f"  false accepts (defective but admitted): {self.false_accepts}",
+            f"  false rejects (clean but rejected):     {self.false_rejects}",
+        ]
+        lines.append(self.coverage().render())
+        return "\n".join(lines)
+
+
+@dataclass
+class AutomatedSuiteBuilder:
+    """Drives candidate generation and pipeline filtering."""
+
+    flavor: str = "acc"
+    seed: int = 7
+    candidates_per_feature: int = 2
+    judge_kind: str = "direct"
+    generator: CodeGenSim | None = None
+    validator: TestsuiteValidator | None = None
+
+    def __post_init__(self) -> None:
+        if self.generator is None:
+            self.generator = CodeGenSim(flavor=self.flavor, seed=self.seed)
+        if self.validator is None:
+            self.validator = TestsuiteValidator(
+                flavor=self.flavor,
+                judge_kind=self.judge_kind,
+                early_exit=True,
+                model_seed=self.seed,
+            )
+
+    # ------------------------------------------------------------------
+
+    def build(self, feature_idents: list[str] | None = None) -> BuildReport:
+        """Generate and validate candidates for each target feature."""
+        assert self.generator is not None and self.validator is not None
+        if feature_idents is None:
+            feature_idents = sorted(catalog(self.flavor))
+        candidates: list[CandidateTest] = []
+        for ident in feature_idents:
+            candidates.extend(
+                self.generator.generate_batch(ident, self.candidates_per_feature)
+            )
+        report = BuildReport(flavor=self.flavor, candidates_total=len(candidates))
+        for candidate in candidates:
+            report.defects_seen[candidate.defect] += 1
+
+        validation = self.validator.validate([c.test for c in candidates])
+        by_name = {judged.name: judged for judged in validation.files}
+        for candidate in candidates:
+            judged = by_name[candidate.test.name]
+            if judged.is_valid:
+                report.accepted.append(candidate.test)
+                if not candidate.truly_valid:
+                    report.false_accepts += 1
+            else:
+                report.rejected_by_stage[judged.stage] += 1
+                if candidate.truly_valid:
+                    report.false_rejects += 1
+        return report

@@ -1,0 +1,179 @@
+"""Simulated code-generation model for compiler tests.
+
+``CodeGenSim`` stands in for an instruction-tuned code LLM asked to
+*write* a V&V test for a given feature.  Mechanically it samples a
+matching template (the patterns such a model has seen thousands of
+times) and then, with calibrated probabilities, injects the defect
+classes the authors' prior generation study measured in real LLM
+output: code that does not compile, code that compiles but fails at
+run time, and code that runs clean but never verifies its result.
+
+The defect rates default to the deepseek-coder-33B figures reported in
+arXiv:2310.04963's evaluation band (roughly 10-20% compile failures and
+a further slice of runtime/logic defects); they are constructor knobs
+so experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.generator import TestFile
+from repro.corpus.templates import TemplateContext, TemplateSpec, templates_for
+from repro.probing.mutators import (
+    DirectiveOrAllocationMutator,
+    LastSectionMutator,
+    MutationError,
+    OpeningBracketMutator,
+    UndeclaredVariableMutator,
+)
+
+
+class GenerationDefect(enum.Enum):
+    """Defect classes observed in LLM-generated compiler tests."""
+
+    NONE = "none"
+    COMPILE_SYNTAX = "compile-syntax"  # malformed code / bad directive
+    COMPILE_SEMANTIC = "compile-semantic"  # undeclared identifiers
+    RUNTIME = "runtime"  # compiles, crashes or self-check fails
+    MISSING_VERIFICATION = "missing-verification"  # runs clean, checks nothing
+
+
+@dataclass(frozen=True)
+class CandidateTest:
+    """One generated candidate plus its (hidden) injected defect."""
+
+    test: TestFile
+    target_feature: str
+    defect: GenerationDefect
+    prompt: str
+
+    @property
+    def truly_valid(self) -> bool:
+        return self.defect is GenerationDefect.NONE
+
+
+#: Default defect mix for the simulated generator.
+DEFAULT_DEFECT_RATES: dict[GenerationDefect, float] = {
+    GenerationDefect.COMPILE_SYNTAX: 0.10,
+    GenerationDefect.COMPILE_SEMANTIC: 0.06,
+    GenerationDefect.RUNTIME: 0.08,
+    GenerationDefect.MISSING_VERIFICATION: 0.10,
+}
+
+
+@dataclass
+class CodeGenSim:
+    """Seeded test-generation model for one programming model flavor."""
+
+    flavor: str = "acc"
+    seed: int = 7
+    language: str = "c"
+    defect_rates: dict[GenerationDefect, float] = field(
+        default_factory=lambda: dict(DEFAULT_DEFECT_RATES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.flavor not in ("acc", "omp"):
+            raise ValueError(f"flavor must be 'acc' or 'omp', got {self.flavor!r}")
+        self._rng = random.Random(f"gen:{self.seed}:{self.flavor}:{self.language}")
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def build_prompt(self, feature_ident: str) -> str:
+        """The generation prompt (for the record; the sampler is local)."""
+        name = {"acc": "OpenACC", "omp": "OpenMP"}[self.flavor]
+        return (
+            f"Write a complete, self-checking {name} compiler test in "
+            f"{'C' if self.language != 'f90' else 'Fortran'} that exercises the "
+            f"feature '{feature_ident}'. The test must initialize its inputs, "
+            f"compute a serial reference, perform the same computation using "
+            f"{name} directives, compare the results, print a pass/fail "
+            f"message, and return 0 on success and a nonzero code on failure."
+        )
+
+    def generate(self, feature_ident: str) -> CandidateTest:
+        """One candidate test targeting ``feature_ident``."""
+        spec = self._pick_template(feature_ident)
+        ctx = TemplateContext(rng=self._rng, model=self.flavor, language=self.language)
+        source = spec.render(ctx)
+        self._counter += 1
+        ext = {"c": ".c", "cpp": ".cpp", "f90": ".f90"}[self.language]
+        name = f"gen_{self.flavor}_{spec.name}_{self._counter:04d}{ext}"
+        defect = self._sample_defect()
+        source = self._inject(source, defect)
+        test = TestFile(
+            name=name,
+            language=self.language,
+            model=self.flavor,
+            source=source,
+            template=spec.name,
+            features=spec.features,
+        )
+        return CandidateTest(
+            test=test,
+            target_feature=feature_ident,
+            defect=defect,
+            prompt=self.build_prompt(feature_ident),
+        )
+
+    def generate_batch(self, feature_ident: str, count: int) -> list[CandidateTest]:
+        return [self.generate(feature_ident) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+
+    def _pick_template(self, feature_ident: str) -> TemplateSpec:
+        pool = templates_for(self.flavor, self.language)
+        matching = [spec for spec in pool if feature_ident in spec.features]
+        if matching:
+            return self._rng.choice(matching)
+        # the model improvises with the nearest pattern it knows
+        return self._rng.choice(pool)
+
+    def _sample_defect(self) -> GenerationDefect:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for defect, rate in self.defect_rates.items():
+            cumulative += rate
+            if roll < cumulative:
+                return defect
+        return GenerationDefect.NONE
+
+    def _inject(self, source: str, defect: GenerationDefect) -> str:
+        try:
+            if defect is GenerationDefect.COMPILE_SYNTAX:
+                if self._rng.random() < 0.5:
+                    return OpeningBracketMutator().mutate_c(source, self._rng)
+                return DirectiveOrAllocationMutator().mutate_c(source, self._rng)
+            if defect is GenerationDefect.COMPILE_SEMANTIC:
+                return UndeclaredVariableMutator().mutate_c(source, self._rng)
+            if defect is GenerationDefect.RUNTIME:
+                return self._break_at_runtime(source)
+            if defect is GenerationDefect.MISSING_VERIFICATION:
+                return LastSectionMutator().mutate_c(source, self._rng)
+        except MutationError:
+            return source  # pattern not injectable here: candidate stays clean
+        return source
+
+    def _break_at_runtime(self, source: str) -> str:
+        """Make the test compile but fail when run.
+
+        Preferred: corrupt the expected-value computation so the
+        self-check trips (the most common real LLM failure: plausible
+        code, wrong reference).  Fallback: drop an allocation.
+        """
+        for wrong, right in (("expected[i] =", "expected[i] = 1.0 +"),
+                             ("ref[i] =", "ref[i] = 1.0 +"),
+                             ("expected +=", "expected += 1.0 +"),
+                             ("expected =", "expected = 1.0 +")):
+            if wrong in source:
+                return source.replace(wrong, right, 1)
+        import re
+
+        broken = re.sub(
+            r"=\s*\([A-Za-z_][\w ]*\*+\s*\)\s*malloc\s*\([^;]*\)\s*;", ";", source, count=1
+        )
+        return broken

@@ -1,0 +1,27 @@
+"""LLM-as-a-Judge (LLMJ): prompts, parsing, agents, judge front-ends.
+
+Implements the paper's three judge configurations:
+
+* :class:`~repro.judge.llmj.DirectLLMJ` — Part One's tool-less judge
+  using the direct-analysis prompt (Listing 3);
+* :class:`~repro.judge.llmj.AgentLLMJ` with ``kind="direct"`` — LLMJ 1,
+  the agent-based judge with the criteria prompt plus tool outputs
+  (Listing 2);
+* :class:`~repro.judge.llmj.AgentLLMJ` with ``kind="indirect"`` —
+  LLMJ 2, the describe-then-judge prompt (Listing 4).
+"""
+
+from repro.judge.agent import ToolReport, ToolRunner
+from repro.judge.llmj import AgentLLMJ, DirectLLMJ, JudgeResult
+from repro.judge.parser import ParsedJudgment, Verdict, parse_judgment
+
+__all__ = [
+    "AgentLLMJ",
+    "DirectLLMJ",
+    "JudgeResult",
+    "ParsedJudgment",
+    "Verdict",
+    "parse_judgment",
+    "ToolReport",
+    "ToolRunner",
+]

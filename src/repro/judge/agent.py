@@ -1,0 +1,90 @@
+"""Tool use for the agent-based judge: compile and run the candidate.
+
+:class:`ToolRunner` is the "environment" of Figure 1: it invokes the
+simulated toolchain and execution substrate and packages their
+observables into a :class:`ToolReport` the prompt builders embed.
+Output fields are size-capped the way a prompt budget forces in
+practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.driver import CompileResult, Compiler
+from repro.corpus.generator import TestFile
+from repro.runtime.executor import ExecutionResult, Executor
+
+MAX_TOOL_TEXT = 2000  # characters of stderr/stdout embedded per section
+
+
+@dataclass(frozen=True)
+class ToolReport:
+    """Everything the agent collected about one candidate test."""
+
+    compile_rc: int
+    compile_stderr: str
+    compile_stdout: str
+    run_rc: int | None
+    run_stderr: str | None
+    run_stdout: str | None
+    diagnostic_codes: tuple[str, ...] = ()
+
+    @property
+    def compiled(self) -> bool:
+        return self.compile_rc == 0
+
+    @property
+    def ran_clean(self) -> bool:
+        return self.run_rc == 0
+
+    @classmethod
+    def from_results(
+        cls, compiled: CompileResult, executed: ExecutionResult | None
+    ) -> "ToolReport":
+        return cls(
+            compile_rc=compiled.returncode,
+            compile_stderr=_cap(compiled.stderr),
+            compile_stdout=_cap(compiled.stdout),
+            run_rc=executed.returncode if executed is not None else None,
+            run_stderr=_cap(executed.stderr) if executed is not None else None,
+            run_stdout=_cap(executed.stdout) if executed is not None else None,
+            diagnostic_codes=tuple(compiled.diagnostic_codes),
+        )
+
+
+def _cap(text: str) -> str:
+    if len(text) <= MAX_TOOL_TEXT:
+        return text
+    return text[:MAX_TOOL_TEXT] + "\n... (truncated)"
+
+
+class ToolRunner:
+    """Compile-and-execute tooling bound to one model flavor."""
+
+    def __init__(
+        self,
+        flavor: str,
+        openmp_max_version: float = 4.5,
+        step_limit: int = 3_000_000,
+        environment=None,
+    ):
+        self.flavor = flavor
+        self.compiler = Compiler(model=flavor, openmp_max_version=openmp_max_version)
+        self.executor = Executor(step_limit=step_limit)
+        self.environment = environment
+
+    def compile(self, test: TestFile) -> CompileResult:
+        compiled = self.compiler.compile(test.source, test.name)
+        if self.environment is not None:
+            compiled = self.environment.apply(test, compiled)
+        return compiled
+
+    def execute(self, compiled: CompileResult) -> ExecutionResult:
+        return self.executor.run(compiled)
+
+    def collect(self, test: TestFile) -> ToolReport:
+        """Run both tools, skipping execution when compilation fails."""
+        compiled = self.compile(test)
+        executed = self.execute(compiled) if compiled.ok else None
+        return ToolReport.from_results(compiled, executed)

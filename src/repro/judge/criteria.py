@@ -1,0 +1,22 @@
+"""The evaluation criteria of Listing 1, parameterized by model flavor."""
+
+from __future__ import annotations
+
+FLAVOR_NAMES = {"acc": "OpenACC", "omp": "OpenMP"}
+
+
+def criteria_text(flavor: str) -> str:
+    """The six criteria exactly as the paper prompts them (Listing 1)."""
+    name = FLAVOR_NAMES[flavor]
+    return (
+        f"Syntax: Ensure all {name} directives and pragmas are syntactically correct.\n"
+        f"Directive Appropriateness: Check if the right directives are used for the "
+        f"intended parallel computations.\n"
+        f"Clause Correctness: Verify that all clauses within the directives are "
+        f"correctly used according to {name} specifications.\n"
+        f"Memory Management: Assess the accuracy of data movement between CPU and GPU.\n"
+        f"Compliance: Ensure the code adheres to the latest {name} specifications "
+        f"and best practices.\n"
+        f"Logic: Verify that the logic of the test (e.g. performing the same "
+        f"computation in serial and parallel and comparing) is correct."
+    )

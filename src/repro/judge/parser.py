@@ -1,0 +1,84 @@
+"""Judgment extraction from LLM completions.
+
+The paper's protocol requires the exact phrase ``FINAL JUDGEMENT:
+valid`` / ``invalid`` (or ``correct`` / ``incorrect`` for the direct
+prompt).  Real completions are messy, so the parser implements a
+tolerance ladder:
+
+1. exact phrase match (the contract);
+2. case-insensitive / ``JUDGMENT``-spelling / punctuation-tolerant
+   match (recoverable deviations, flagged as non-strict);
+3. last-resort keyword scan of the final lines.
+
+Callers can see which rung matched and decide whether to re-prompt.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class Verdict(enum.Enum):
+    VALID = "valid"
+    INVALID = "invalid"
+
+    @property
+    def as_bool(self) -> bool:
+        return self is Verdict.VALID
+
+
+@dataclass(frozen=True)
+class ParsedJudgment:
+    verdict: Verdict | None
+    strict: bool  # True iff the exact contracted phrase was present
+    matched_text: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is not None
+
+
+_POSITIVE_WORDS = ("valid", "correct")
+_NEGATIVE_WORDS = ("invalid", "incorrect")
+
+_STRICT_RE = re.compile(
+    r"FINAL JUDGEMENT:\s*(valid|invalid|correct|incorrect)\b"
+)
+_LOOSE_RE = re.compile(
+    r"final\s+judg(?:e)?ment\s*[:\-–]?\s*(valid|invalid|correct|incorrect)\b",
+    re.IGNORECASE,
+)
+
+
+def parse_judgment(response: str) -> ParsedJudgment:
+    """Extract the verdict from a completion, most-tolerant last."""
+    match = None
+    for m in _STRICT_RE.finditer(response):
+        match = m  # keep the last occurrence: models sometimes restate
+    if match is not None:
+        return ParsedJudgment(_word_to_verdict(match.group(1)), strict=True, matched_text=match.group(0))
+
+    match = None
+    for m in _LOOSE_RE.finditer(response):
+        match = m
+    if match is not None:
+        return ParsedJudgment(
+            _word_to_verdict(match.group(1)), strict=False, matched_text=match.group(0)
+        )
+
+    # keyword scan of the closing lines
+    tail = "\n".join(response.strip().splitlines()[-3:]).lower()
+    # negatives first: 'invalid' contains 'valid'
+    for word in _NEGATIVE_WORDS:
+        if re.search(rf"\b{word}\b", tail):
+            return ParsedJudgment(Verdict.INVALID, strict=False, matched_text=word)
+    for word in _POSITIVE_WORDS:
+        if re.search(rf"\b{word}\b", tail):
+            return ParsedJudgment(Verdict.VALID, strict=False, matched_text=word)
+    return ParsedJudgment(None, strict=False)
+
+
+def _word_to_verdict(word: str) -> Verdict:
+    return Verdict.VALID if word.lower() in _POSITIVE_WORDS else Verdict.INVALID

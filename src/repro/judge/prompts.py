@@ -1,0 +1,125 @@
+"""Prompt construction mirroring the paper's Listings 2-4.
+
+Three prompt builders:
+
+* :func:`direct_prompt` — Listing 3, the tool-less direct-analysis
+  prompt (vocabulary ``correct``/``incorrect``);
+* :func:`agent_direct_prompt` — Listing 2, criteria plus tool outputs
+  (vocabulary ``valid``/``invalid``);
+* :func:`agent_indirect_prompt` — Listing 4, describe-then-judge with
+  tool outputs (vocabulary ``valid``/``invalid``).
+
+The exact marker strings ("Here is the code:", "Compiler return code:")
+are part of the experiment contract: the response parser and the
+simulated model both key off them, just as the paper's harness keyed
+off its own prompt text.
+"""
+
+from __future__ import annotations
+
+from repro.judge.criteria import FLAVOR_NAMES, criteria_text
+
+
+def direct_prompt(code: str, flavor: str) -> str:
+    """Listing 3: direct analysis, no tools."""
+    name = FLAVOR_NAMES[flavor]
+    return (
+        f"Review the following {name} code and evaluate it based on the "
+        f"following criteria:\n\n"
+        f"{criteria_text(flavor)}\n"
+        f"Based on these criteria, evaluate the code in a brief summary, then "
+        f'respond with precisely "FINAL JUDGEMENT: correct" (or incorrect).\n'
+        f'You MUST include the exact phrase "FINAL JUDGEMENT: correct" in your '
+        f"evaluation if you believe the code is correct. Otherwise, you must "
+        f'include the phrase "FINAL JUDGEMENT: incorrect" in your evaluation.\n'
+        f"Here is the code:\n"
+        f"{code}"
+    )
+
+
+def _tool_info_block(
+    compile_rc: int,
+    compile_stderr: str,
+    compile_stdout: str,
+    run_rc: int | None,
+    run_stderr: str | None,
+    run_stdout: str | None,
+    flavor: str,
+) -> str:
+    name = FLAVOR_NAMES[flavor]
+    lines = [
+        f"When compiled with a compliant {name} compiler, the below code causes "
+        f"the following outputs:",
+        f"Compiler return code: {compile_rc}",
+        f"Compiler STDERR: {compile_stderr}",
+        f"Compiler STDOUT: {compile_stdout}",
+    ]
+    if run_rc is not None:
+        lines.extend(
+            [
+                "When the compiled code is run, it gives the following results:",
+                f"Return code: {run_rc}",
+                f"STDERR: {run_stderr or ''}",
+                f"STDOUT: {run_stdout or ''}",
+            ]
+        )
+    else:
+        lines.append("The code did not compile, so it could not be run.")
+    return "\n".join(lines)
+
+
+def agent_direct_prompt(
+    code: str,
+    flavor: str,
+    compile_rc: int,
+    compile_stderr: str,
+    compile_stdout: str,
+    run_rc: int | None,
+    run_stderr: str | None,
+    run_stdout: str | None,
+) -> str:
+    """Listing 2: criteria + tool outputs (LLMJ 1)."""
+    return (
+        f"{criteria_text(flavor)}\n"
+        f"Based on these criteria, evaluate the code and determine if it is a "
+        f"valid or invalid test. Think step by step.\n"
+        f'You MUST include the exact phrase, "FINAL JUDGEMENT: valid" in your '
+        f"response if you deem the test to be valid.\n"
+        f'If you deem the test to be invalid, include the exact phrase '
+        f'"FINAL JUDGEMENT: invalid" in your response instead.\n'
+        f"Here is some information about the code to help you.\n"
+        f"{_tool_info_block(compile_rc, compile_stderr, compile_stdout, run_rc, run_stderr, run_stdout, flavor)}\n"
+        f"Here is the code:\n"
+        f"{code}"
+    )
+
+
+def agent_indirect_prompt(
+    code: str,
+    flavor: str,
+    compile_rc: int,
+    compile_stderr: str,
+    compile_stdout: str,
+    run_rc: int | None,
+    run_stderr: str | None,
+    run_stdout: str | None,
+) -> str:
+    """Listing 4: describe-then-judge + tool outputs (LLMJ 2)."""
+    name = FLAVOR_NAMES[flavor]
+    return (
+        f"Describe what the below {name} program will do when run. Think step by step.\n"
+        f"Here is some information about the code to help you; you do not have "
+        f"to compile or run the code yourself.\n"
+        f"{_tool_info_block(compile_rc, compile_stderr, compile_stdout, run_rc, run_stderr, run_stdout, flavor)}\n"
+        f"Using this information, describe in full detail how the below code "
+        f"works, what the below code will do when run, and suggest why the "
+        f"below code might have been written this way.\n"
+        f"Then, based on that description, determine whether the described "
+        f"program would be a valid or invalid compiler test for {name} compilers.\n"
+        f'You MUST include the exact phrase "FINAL JUDGEMENT: valid" in your '
+        f"final response if you believe that your description of the below "
+        f"{name} code describes a valid compiler test; otherwise, your final "
+        f'response MUST include the exact phrase "FINAL JUDGEMENT: invalid".\n'
+        f"Here is the code for you to analyze:\n"
+        f"{code}"
+    )

@@ -1,0 +1,35 @@
+"""Simulated code LLM (deepseek-coder-33B-instruct stand-in).
+
+The paper's judge is a 33-billion-parameter model running on A100s;
+this package substitutes a deterministic-seeded simulator that
+preserves everything the experiments measure:
+
+* it consumes the *same prompts* (Listings 1-4) and emits step-by-step
+  rationale text terminated by the required ``FINAL JUDGEMENT:`` token
+  (with a small malformed-response rate, like a real LLM);
+* its judgment is produced by genuinely analyzing the code in the
+  prompt with a *noisy, shallow* static analyzer
+  (:mod:`repro.llm.analysis`) — regex/heuristic-level reasoning, not
+  the real front-end — gated by per-signal detection probabilities
+  (:mod:`repro.llm.profiles`) calibrated once against the paper's
+  published accuracy tables;
+* when the prompt carries tool outputs (agent mode), the simulator
+  reads the compiler/runtime sections and weighs them with
+  per-diagnostic-category trust factors, reproducing the paper's
+  finding that agent prompts drastically improve the judge.
+
+Nothing downstream of the model object (prompt construction, response
+parsing, metrics, pipeline) knows it is synthetic.
+"""
+
+from repro.llm.model import DeepSeekCoderSim, GenerationStats
+from repro.llm.profiles import CapabilityProfile, profile_for
+from repro.llm.tokenizer import SimTokenizer
+
+__all__ = [
+    "DeepSeekCoderSim",
+    "GenerationStats",
+    "CapabilityProfile",
+    "profile_for",
+    "SimTokenizer",
+]

@@ -1,0 +1,252 @@
+"""The simulated model's shallow code reading.
+
+This is *not* the compiler front-end: it is the regex/heuristic-level
+pattern matching a language model performs when it "reads" code.  It is
+deliberately approximate — declarations are recognized by surface
+syntax, brace counting ignores strings, undeclared-variable hunting
+misses aliases — because those imperfections are exactly what the
+capability profile's detection probabilities then gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.llm.knowledge import DirectiveKnowledge
+
+_C_KEYWORDS = frozenset(
+    """if else for while do return break continue int double float char void
+    long short unsigned signed const static sizeof struct switch case default
+    include define pragma main printf fprintf malloc calloc free memset memcpy
+    fabs sqrt pow exp abs true false bool NULL stdio stdlib math openacc omp
+    stdout stderr""".split()
+)
+
+_DIRECTIVE_LINE_RE = re.compile(r"^\s*#pragma\s+(acc|omp)\b(.*)$", re.MULTILINE)
+_FORTRAN_DIRECTIVE_RE = re.compile(r"^\s*!\$(acc|omp)\b(.*)$", re.MULTILINE | re.IGNORECASE)
+_DECL_RE = re.compile(
+    r"\b(?:int|double|float|char|long|short|unsigned|size_t|bool)\b[\s\*]+"
+    r"([A-Za-z_]\w*(?:\s*,\s*\*?\s*[A-Za-z_]\w*)*)"
+)
+_FORTRAN_DECL_RE = re.compile(
+    r"::\s*(.+)$", re.MULTILINE
+)
+_IDENT_RE = re.compile(r"\b([A-Za-z_]\w*)\b")
+_WORD_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+@dataclass
+class CodeSignals:
+    """What the simulated model noticed while reading the code."""
+
+    language: str = "c"
+    line_count: int = 0
+    has_directives: bool = False
+    directive_flavors: set[str] = field(default_factory=set)
+    directive_lines: list[str] = field(default_factory=list)
+    suspicious_directive_words: list[str] = field(default_factory=list)
+    brace_imbalance: int = 0
+    undeclared_candidates: list[str] = field(default_factory=list)
+    unallocated_pointers: list[str] = field(default_factory=list)
+    has_main: bool = False
+    has_check_logic: bool = False
+    has_failure_path: bool = False
+    has_memory_alloc: bool = False
+
+    @property
+    def looks_unbalanced(self) -> bool:
+        return self.brace_imbalance != 0
+
+    @property
+    def is_simple(self) -> bool:
+        """Short code without a failure path draws fewer hallucinations."""
+        return not self.has_failure_path or self.line_count < 25
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "directives": sorted(self.directive_flavors),
+            "directive_count": len(self.directive_lines),
+            "suspicious_words": list(self.suspicious_directive_words),
+            "brace_imbalance": self.brace_imbalance,
+            "undeclared": list(self.undeclared_candidates),
+            "unallocated_pointers": list(self.unallocated_pointers),
+            "check_logic": self.has_check_logic,
+            "failure_path": self.has_failure_path,
+        }
+
+
+class ShallowAnalyzer:
+    """Extracts :class:`CodeSignals` from raw source text."""
+
+    def __init__(self, knowledge: DirectiveKnowledge | None = None):
+        self.knowledge = knowledge or DirectiveKnowledge()
+
+    def analyze(self, source: str, language: str | None = None) -> CodeSignals:
+        if language is None:
+            language = "f90" if _looks_like_fortran(source) else "c"
+        if language == "f90":
+            return self._analyze_fortran(source)
+        return self._analyze_c(source)
+
+    # ------------------------------------------------------------------
+
+    def _analyze_c(self, source: str) -> CodeSignals:
+        signals = CodeSignals(language="c", line_count=source.count("\n") + 1)
+        stripped = _strip_strings_and_comments(source)
+
+        for match in _DIRECTIVE_LINE_RE.finditer(source):
+            signals.has_directives = True
+            signals.directive_flavors.add(match.group(1))
+            line = match.group(0).strip()
+            signals.directive_lines.append(line)
+            # clause arguments are variable names, not vocabulary: only the
+            # words outside parentheses are directive/clause spellings
+            words = _WORD_RE.findall(_strip_parenthesized(match.group(2)))
+            signals.suspicious_directive_words.extend(self.knowledge.suspicious_words(words))
+
+        # runtime-API usage counts as model usage: a reader recognizes
+        # acc_init()/omp_get_num_threads() as OpenACC/OpenMP code even
+        # with no pragma in sight
+        if re.search(r"\bacc_\w+\s*\(", source):
+            signals.has_directives = True
+            signals.directive_flavors.add("acc")
+        if re.search(r"\bomp_\w+\s*\(", source):
+            signals.has_directives = True
+            signals.directive_flavors.add("omp")
+
+        signals.brace_imbalance = stripped.count("{") - stripped.count("}")
+        signals.has_main = re.search(r"\bmain\s*\(", source) is not None
+        signals.has_memory_alloc = "malloc" in source or "calloc" in source
+        signals.has_failure_path = (
+            re.search(r"return\s+[1-9]", source) is not None
+            or "exit(1)" in source.replace(" ", "")
+            or "EXIT_FAILURE" in source
+        )
+        signals.has_check_logic = signals.has_failure_path and (
+            re.search(r"\bif\s*\(", source) is not None
+            and re.search(r"(!=|==|>|<|fabs)", source) is not None
+        )
+
+        declared = self._collect_declared_c(source)
+        # identifier scan over code only — preprocessor/pragma lines are
+        # vocabulary, not uses
+        code_only = re.sub(r"^\s*#.*$", "", stripped, flags=re.MULTILINE)
+        used = set(_IDENT_RE.findall(code_only))
+        candidates = sorted(
+            name
+            for name in used - declared
+            if name not in _C_KEYWORDS
+            and not name.startswith(("acc_", "omp_", "__"))
+            and len(name) > 2
+            and not name.isupper()  # macros look declared to a reader
+        )
+        signals.undeclared_candidates = candidates[:8]
+
+        # pointers declared but never assigned an allocation
+        for match in re.finditer(r"\b(?:int|double|float|char|long)\s*\*\s*([A-Za-z_]\w*)\s*;", source):
+            name = match.group(1)
+            if not re.search(rf"\b{name}\s*=", source):
+                signals.unallocated_pointers.append(name)
+        return signals
+
+    def _collect_declared_c(self, source: str) -> set[str]:
+        declared: set[str] = set()
+        for match in _DECL_RE.finditer(source):
+            for part in match.group(1).split(","):
+                name = part.strip().lstrip("*").strip()
+                word = _WORD_RE.match(name)
+                if word:
+                    declared.add(word.group(0))
+        for match in re.finditer(r"#define\s+(\w+)", source):
+            declared.add(match.group(1))
+        for match in re.finditer(r"\bfor\s*\(\s*(?:int|long)?\s*([A-Za-z_]\w*)\s*=", source):
+            declared.add(match.group(1))
+        for match in re.finditer(r"\b(\w+)\s*\(", source):
+            declared.add(match.group(1))  # function names (and calls)
+        return declared
+
+    # ------------------------------------------------------------------
+
+    def _analyze_fortran(self, source: str) -> CodeSignals:
+        signals = CodeSignals(language="f90", line_count=source.count("\n") + 1)
+        for match in _FORTRAN_DIRECTIVE_RE.finditer(source):
+            signals.has_directives = True
+            signals.directive_flavors.add(match.group(1).lower())
+            signals.directive_lines.append(match.group(0).strip())
+            words = _WORD_RE.findall(_strip_parenthesized(match.group(2)))
+            signals.suspicious_directive_words.extend(self.knowledge.suspicious_words(words))
+        opens = len(re.findall(r"^\s*do\s+\w+\s*=", source, re.MULTILINE | re.IGNORECASE))
+        closes = len(re.findall(r"^\s*end\s*do\b", source, re.MULTILINE | re.IGNORECASE))
+        if_opens = len(re.findall(r"^\s*if\s*\(.*\)\s*then\s*$", source, re.MULTILINE | re.IGNORECASE))
+        if_closes = len(re.findall(r"^\s*end\s*if\b", source, re.MULTILINE | re.IGNORECASE))
+        signals.brace_imbalance = (opens - closes) + (if_opens - if_closes)
+        signals.has_main = re.search(r"^\s*program\b", source, re.MULTILINE | re.IGNORECASE) is not None
+        signals.has_failure_path = re.search(r"\bstop\s+[1-9]", source, re.IGNORECASE) is not None
+        signals.has_check_logic = signals.has_failure_path and "if" in source.lower()
+
+        declared: set[str] = set()
+        for match in _FORTRAN_DECL_RE.finditer(source):
+            for part in match.group(1).split(","):
+                word = _WORD_RE.match(part.strip())
+                if word:
+                    declared.add(word.group(0).lower())
+        for match in re.finditer(r"^\s*(?:program|subroutine|function)\s+(\w+)", source, re.MULTILINE | re.IGNORECASE):
+            declared.add(match.group(1).lower())
+        body = re.sub(r"!.*$", "", source, flags=re.MULTILINE)
+        body = re.sub(r'"[^"]*"|\'[^\']*\'', "", body)  # strings are not identifiers
+        used = {w.lower() for w in _IDENT_RE.findall(body)}
+        fortran_keywords = {
+            "program", "end", "implicit", "none", "integer", "real", "logical",
+            "do", "if", "then", "else", "print", "stop", "abs", "sqrt", "max",
+            "min", "mod", "and", "or", "not", "exit", "cycle", "call", "use",
+            "parameter", "double", "precision",
+        }
+        candidates = sorted(used - declared - fortran_keywords)
+        signals.undeclared_candidates = [c for c in candidates if len(c) > 2][:8]
+        return signals
+
+
+def _strip_parenthesized(text: str) -> str:
+    """Drop parenthesized clause arguments, keeping clause names."""
+    out: list[str] = []
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def _looks_like_fortran(source: str) -> bool:
+    return bool(re.search(r"^\s*(program|subroutine|module)\b", source, re.MULTILINE | re.IGNORECASE))
+
+
+def _strip_strings_and_comments(source: str) -> str:
+    """Remove string literals and comments before brace counting."""
+    out: list[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == '"' or ch == "'":
+            quote = ch
+            i += 1
+            while i < n and source[i] != quote:
+                i += 2 if source[i] == "\\" else 1
+            i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                i += 1
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)

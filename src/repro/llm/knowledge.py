@@ -1,0 +1,94 @@
+"""The simulated model's (imperfect) knowledge of OpenACC and OpenMP.
+
+A 33B code model knows the common directive vocabulary well and the
+long tail imperfectly.  This module holds the vocabulary the simulator
+"remembers" and an edit-distance matcher it uses to decide whether a
+directive word *looks* misspelled — the shallow, pattern-matching kind
+of check an LLM performs, as opposed to the exact table lookup the real
+front-end performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Directive words the model knows confidently (high-frequency in
+#: training corpora).
+WELL_KNOWN_WORDS = frozenset(
+    {
+        "parallel", "for", "loop", "kernels", "data", "target", "teams",
+        "distribute", "simd", "atomic", "barrier", "critical", "single",
+        "master", "sections", "section", "task", "reduction", "private",
+        "shared", "copyin", "copyout", "copy", "create", "map", "update",
+        "enter", "exit", "wait", "async", "collapse", "schedule",
+        "firstprivate", "lastprivate", "num_threads", "device", "present",
+        "gang", "worker", "vector", "seq", "independent", "serial",
+        "num_gangs", "num_workers", "vector_length", "if", "default",
+        "taskwait", "flush", "ordered", "taskloop", "declare", "routine",
+        "host_data", "use_device", "threadprivate", "nowait", "to", "from",
+        "tofrom", "alloc", "delete", "self", "host",
+    }
+)
+
+#: Words the model half-remembers — it will not reliably flag typos here.
+SHAKY_WORDS = frozenset(
+    {
+        "deviceptr", "attach", "detach", "no_create", "if_present",
+        "finalize", "device_resident", "link", "defaultmap", "is_device_ptr",
+        "use_device_ptr", "proc_bind", "dist_schedule", "grainsize",
+        "num_tasks", "safelen", "simdlen", "aligned", "linear", "cache",
+        "tile", "device_type", "bind", "nohost", "copyprivate", "hint",
+    }
+)
+
+KNOWN_WORDS = WELL_KNOWN_WORDS | SHAKY_WORDS
+
+
+def edit_distance(a: str, b: str, cap: int = 3) -> int:
+    """Levenshtein distance with an early-exit cap."""
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        cur = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            val = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost)
+            cur.append(val)
+            best = min(best, val)
+        if best > cap:
+            return cap + 1
+        prev = cur
+    return prev[-1]
+
+
+@dataclass
+class DirectiveKnowledge:
+    """Misspelling detection the way a language model does it."""
+
+    well_known: frozenset[str] = field(default=WELL_KNOWN_WORDS)
+    shaky: frozenset[str] = field(default=SHAKY_WORDS)
+
+    def classify_word(self, word: str) -> str:
+        """'known' | 'shaky' | 'typo-of-known' | 'unknown'."""
+        low = word.lower()
+        if low in self.well_known:
+            return "known"
+        if low in self.shaky:
+            return "shaky"
+        # looks like a typo of a well-known word?
+        for known in self.well_known:
+            if abs(len(known) - len(low)) <= 2 and edit_distance(low, known, cap=2) <= 2:
+                return "typo-of-known"
+        return "unknown"
+
+    def suspicious_words(self, directive_words: list[str]) -> list[str]:
+        """Words in a directive line the model would find suspect."""
+        return [
+            w
+            for w in directive_words
+            if self.classify_word(w) in ("typo-of-known", "unknown")
+        ]

@@ -1,0 +1,277 @@
+"""Capability profiles for the simulated judge.
+
+A profile holds the per-signal detection probabilities and the
+per-diagnostic-category trust factors that gate the simulator's noisy
+analysis.  The constants below were calibrated **once** against the
+paper's published tables (I, II, VII, VIII) and then frozen — see
+DESIGN.md §5.  Experiments *measure* the end-to-end system; they do not
+read these tables back.
+
+Naming:
+
+* ``detect_*`` — probability the judge notices a code-level signal its
+  shallow analyzer surfaced (direct mode has no other evidence);
+* ``trust_*`` — probability the judge acts on a tool observation in its
+  prompt (agent modes only);
+* ``false_alarm`` — probability of hallucinating a defect in
+  directive-bearing code when nothing was noticed;
+  ``false_alarm_simple_factor`` scales it down for short code without
+  self-check logic (less surface to complain about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Prompting modes.
+DIRECT = "direct"
+AGENT_DIRECT = "agent-direct"
+AGENT_INDIRECT = "agent-indirect"
+
+MODES = (DIRECT, AGENT_DIRECT, AGENT_INDIRECT)
+
+
+@dataclass(frozen=True)
+class CapabilityProfile:
+    """Detection/trust probabilities for one (model flavor, mode) pair."""
+
+    flavor: str  # 'acc' | 'omp'
+    mode: str  # one of MODES
+
+    # -- code-level signal detection ------------------------------------
+    detect_misspelled_directive: float = 0.1
+    detect_unbalanced_brackets: float = 0.1
+    detect_undeclared_variable: float = 0.1
+    detect_missing_allocation: float = 0.1
+    detect_no_directives: float = 0.5
+    detect_missing_check_logic: float = 0.1
+
+    # -- tool-output trust (agent modes) ---------------------------------
+    trust_directive_error: float = 0.0
+    trust_syntax_error: float = 0.0
+    trust_semantic_error: float = 0.0
+    trust_runtime_fault: float = 0.0
+    trust_nonzero_exit: float = 0.0
+    #: Toolchain-limitation failures ("internal error: unsupported
+    #: feature combination") are environment problems, not test
+    #: problems — the judge mostly (correctly) shrugs them off.
+    trust_environment_error: float = 0.08
+
+    # -- hallucination ----------------------------------------------------
+    false_alarm: float = 0.1
+    false_alarm_simple_factor: float = 0.6
+
+    # -- response behaviour -----------------------------------------------
+    malformed_response_rate: float = 0.02
+
+    @property
+    def uses_tools(self) -> bool:
+        return self.mode in (AGENT_DIRECT, AGENT_INDIRECT)
+
+
+_PROFILES: dict[tuple[str, str], CapabilityProfile] = {}
+
+
+def _register(profile: CapabilityProfile) -> None:
+    _PROFILES[(profile.flavor, profile.mode)] = profile
+
+
+# ---------------------------------------------------------------------------
+# Direct (tool-less) judging — calibrated to Tables I / II.
+# The model barely notices syntax-level defects in OpenACC code, spots a
+# total absence of OpenACC easily, and is permissive overall; on OpenMP
+# it is better at syntax but blind to "no OpenMP here" and heavily
+# hallucinates problems in valid directive code.
+# ---------------------------------------------------------------------------
+
+_register(
+    CapabilityProfile(
+        flavor="acc",
+        mode=DIRECT,
+        detect_misspelled_directive=0.06,
+        detect_unbalanced_brackets=0.04,
+        detect_undeclared_variable=0.06,
+        detect_missing_allocation=0.05,
+        detect_no_directives=0.78,
+        detect_missing_check_logic=0.04,
+        false_alarm=0.12,
+        false_alarm_simple_factor=0.6,
+    )
+)
+
+_register(
+    CapabilityProfile(
+        flavor="omp",
+        mode=DIRECT,
+        detect_misspelled_directive=0.02,
+        detect_unbalanced_brackets=0.32,
+        detect_undeclared_variable=0.10,
+        detect_missing_allocation=0.05,
+        detect_no_directives=0.04,
+        detect_missing_check_logic=0.02,
+        false_alarm=0.61,
+        false_alarm_simple_factor=0.55,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Agent-based judging — calibrated to Tables VII / VIII.
+# Tool outputs dominate: compile/runtime failures are mostly (not
+# always!) trusted, hallucination collapses, and "is this even an
+# OpenACC/OpenMP test?" becomes easy because the prompt frames the
+# question against tool evidence.
+# ---------------------------------------------------------------------------
+
+_register(
+    CapabilityProfile(
+        flavor="acc",
+        mode=AGENT_DIRECT,  # LLMJ 1
+        detect_misspelled_directive=0.25,
+        detect_unbalanced_brackets=0.15,
+        detect_undeclared_variable=0.2,
+        detect_missing_allocation=0.15,
+        detect_no_directives=0.97,
+        detect_missing_check_logic=0.10,
+        trust_directive_error=0.67,
+        trust_syntax_error=0.76,
+        trust_semantic_error=0.85,
+        trust_runtime_fault=0.72,
+        trust_nonzero_exit=0.68,
+        false_alarm=0.08,
+        false_alarm_simple_factor=0.6,
+    )
+)
+
+_register(
+    CapabilityProfile(
+        flavor="acc",
+        mode=AGENT_INDIRECT,  # LLMJ 2
+        detect_misspelled_directive=0.3,
+        detect_unbalanced_brackets=0.12,
+        detect_undeclared_variable=0.2,
+        detect_missing_allocation=0.2,
+        detect_no_directives=1.0,
+        detect_missing_check_logic=0.16,
+        trust_directive_error=0.82,
+        trust_syntax_error=0.55,
+        trust_semantic_error=0.83,
+        trust_runtime_fault=0.80,
+        trust_nonzero_exit=0.74,
+        false_alarm=0.21,
+        false_alarm_simple_factor=0.6,
+    )
+)
+
+_register(
+    CapabilityProfile(
+        flavor="omp",
+        mode=AGENT_DIRECT,  # LLMJ 1
+        detect_misspelled_directive=0.1,
+        detect_unbalanced_brackets=0.15,
+        detect_undeclared_variable=0.15,
+        detect_missing_allocation=0.1,
+        detect_no_directives=0.65,
+        detect_missing_check_logic=0.70,
+        trust_directive_error=0.47,
+        trust_syntax_error=0.57,
+        trust_semantic_error=0.69,
+        trust_runtime_fault=0.60,
+        trust_nonzero_exit=0.55,
+        false_alarm=0.07,
+        false_alarm_simple_factor=0.6,
+    )
+)
+
+_register(
+    CapabilityProfile(
+        flavor="omp",
+        mode=AGENT_INDIRECT,  # LLMJ 2
+        detect_misspelled_directive=0.1,
+        detect_unbalanced_brackets=0.1,
+        detect_undeclared_variable=0.12,
+        detect_missing_allocation=0.1,
+        detect_no_directives=0.85,
+        detect_missing_check_logic=0.45,
+        trust_directive_error=0.45,
+        trust_syntax_error=0.46,
+        trust_semantic_error=0.58,
+        trust_runtime_fault=0.58,
+        trust_nonzero_exit=0.52,
+        false_alarm=0.04,
+        false_alarm_simple_factor=0.6,
+    )
+)
+
+
+def profile_for(flavor: str, mode: str) -> CapabilityProfile:
+    """Look up the frozen calibration for one (flavor, mode)."""
+    try:
+        return _PROFILES[(flavor, mode)]
+    except KeyError:
+        raise ValueError(f"no capability profile for flavor={flavor!r} mode={mode!r}") from None
+
+
+#: Diagnostic-code → trust-category mapping used by the decision engine.
+DIAGNOSTIC_TRUST_CATEGORY = {
+    # directive-level rejections
+    "bad-directive": "directive",
+    "unknown-clause": "directive",
+    "clause-not-allowed": "directive",
+    "clause-needs-arg": "directive",
+    "bad-reduction": "directive",
+    "bad-map": "directive",
+    "bad-schedule": "directive",
+    "bad-default": "directive",
+    "bad-depend": "directive",
+    "bad-proc-bind": "directive",
+    "missing-clause": "directive",
+    "clause-conflict": "directive",
+    "unsupported-feature": "directive",
+    "directive-needs-loop": "directive",
+    "directive-needs-construct": "directive",
+    "bad-clause-syntax": "directive",
+    # plain syntax
+    "syntax": "syntax",
+    "unbalanced-brace": "syntax",
+    "unbalanced-block": "syntax",
+    "expected-declaration": "syntax",
+    "unterminated-comment": "syntax",
+    "unterminated-literal": "syntax",
+    "stray-character": "syntax",
+    "pp-mismatch": "syntax",
+    "pp-include": "syntax",
+    "pp-define": "syntax",
+    "pp-error": "syntax",
+    "missing-header": "syntax",
+    "late-declaration": "syntax",
+    # semantic
+    "undeclared": "semantic",
+    "undeclared-function": "semantic",
+    "no-main": "semantic",
+    "redeclaration": "semantic",
+    # environment / toolchain limitations (injected by EnvironmentModel)
+    "toolchain-limitation": "environment",
+}
+
+
+def trust_for_codes(profile: CapabilityProfile, codes: list[str]) -> float:
+    """The trust the judge places in a failing compile, given its codes.
+
+    The judge reads the whole stderr; the *most convincing* category
+    drives its confidence (semantic > syntax > directive ordering is
+    not assumed — we take the max of the per-category trusts present).
+    """
+    trusts = []
+    for code in codes:
+        category = DIAGNOSTIC_TRUST_CATEGORY.get(code)
+        if category == "directive":
+            trusts.append(profile.trust_directive_error)
+        elif category == "syntax":
+            trusts.append(profile.trust_syntax_error)
+        elif category == "semantic":
+            trusts.append(profile.trust_semantic_error)
+        elif category == "environment":
+            trusts.append(profile.trust_environment_error)
+    if not trusts:
+        return profile.trust_syntax_error
+    return max(trusts)

@@ -1,0 +1,33 @@
+"""Metrics (paper §IV): per-issue accuracy, overall accuracy, bias.
+
+The paper's coding maps "Correct/Passing/Valid" to 0 and
+"Incorrect/Failing/Invalid" to 1; all metric computation here is
+vectorized numpy over those integer codes.
+"""
+
+from repro.metrics.accuracy import (
+    EvaluationSet,
+    IssueRow,
+    MetricsReport,
+    bias,
+    overall_accuracy,
+    per_issue_rows,
+    score_evaluations,
+)
+from repro.metrics.radar import RADAR_CATEGORIES, radar_series
+from repro.metrics.tables import render_comparison_table, render_issue_table, render_overall_table
+
+__all__ = [
+    "EvaluationSet",
+    "IssueRow",
+    "MetricsReport",
+    "bias",
+    "overall_accuracy",
+    "per_issue_rows",
+    "score_evaluations",
+    "RADAR_CATEGORIES",
+    "radar_series",
+    "render_comparison_table",
+    "render_issue_table",
+    "render_overall_table",
+]

@@ -1,0 +1,164 @@
+"""Accuracy and bias computation (paper §IV).
+
+An :class:`EvaluationSet` pairs ground truth (is each file valid?) with
+a judge's verdicts (did it say valid?), plus each file's issue id.
+Metrics follow the paper exactly:
+
+* **per-issue accuracy** — fraction of correct evaluations per issue id;
+* **overall accuracy** — fraction of correct evaluations, all files;
+* **bias** — over mistaken evaluations only: +1 for passing an invalid
+  file, −1 for failing a valid file, summed and divided by the number
+  of mistakes.  Range [−1, 1]; positive = permissive, negative =
+  restrictive; defined as 0.0 when there are no mistakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.probing.mutators import ISSUE_DESCRIPTIONS
+
+
+@dataclass
+class EvaluationSet:
+    """Integer-coded evaluation outcomes for one judge over one suite.
+
+    Arrays are aligned; ``issues`` uses 5 for unchanged files, matching
+    the paper's issue ids.
+    """
+
+    issues: np.ndarray  # int, 0-5
+    truth_valid: np.ndarray  # bool: ground truth
+    judged_valid: np.ndarray  # bool: the judge's verdict
+    names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.issues = np.asarray(self.issues, dtype=np.int64)
+        self.truth_valid = np.asarray(self.truth_valid, dtype=bool)
+        self.judged_valid = np.asarray(self.judged_valid, dtype=bool)
+        if not (len(self.issues) == len(self.truth_valid) == len(self.judged_valid)):
+            raise ValueError("evaluation arrays must be aligned")
+
+    def __len__(self) -> int:
+        return len(self.issues)
+
+    @property
+    def correct(self) -> np.ndarray:
+        return self.truth_valid == self.judged_valid
+
+    @classmethod
+    def from_records(cls, files, verdicts_valid, names=None) -> "EvaluationSet":
+        """Build from TestFile-like objects and boolean verdicts."""
+        issues = [5 if f.issue in (None, 5) else int(f.issue) for f in files]
+        truth = [f.is_valid for f in files]
+        return cls(
+            issues=np.array(issues),
+            truth_valid=np.array(truth),
+            judged_valid=np.array(list(verdicts_valid)),
+            names=names if names is not None else [f.name for f in files],
+        )
+
+    def concat(self, other: "EvaluationSet") -> "EvaluationSet":
+        return EvaluationSet(
+            issues=np.concatenate([self.issues, other.issues]),
+            truth_valid=np.concatenate([self.truth_valid, other.truth_valid]),
+            judged_valid=np.concatenate([self.judged_valid, other.judged_valid]),
+            names=self.names + other.names,
+        )
+
+
+@dataclass(frozen=True)
+class IssueRow:
+    """One row of a per-issue table (Tables I/II/IV/V/VII/VIII)."""
+
+    issue: int
+    description: str
+    count: int
+    correct: int
+    incorrect: int
+    accuracy: float
+
+
+def per_issue_rows(evals: EvaluationSet) -> list[IssueRow]:
+    """Per-issue accuracy rows, issue ids ascending (0-5)."""
+    rows: list[IssueRow] = []
+    correct = evals.correct
+    for issue in range(6):
+        mask = evals.issues == issue
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        n_correct = int(correct[mask].sum())
+        rows.append(
+            IssueRow(
+                issue=issue,
+                description=ISSUE_DESCRIPTIONS[issue],
+                count=count,
+                correct=n_correct,
+                incorrect=count - n_correct,
+                accuracy=n_correct / count,
+            )
+        )
+    return rows
+
+
+def overall_accuracy(evals: EvaluationSet) -> float:
+    if len(evals) == 0:
+        return 0.0
+    return float(evals.correct.mean())
+
+
+def bias(evals: EvaluationSet) -> float:
+    """The paper's bias metric over mistaken evaluations."""
+    mistakes = ~evals.correct
+    n_mistakes = int(mistakes.sum())
+    if n_mistakes == 0:
+        return 0.0
+    # +1: invalid file judged valid (permissive mistake)
+    permissive = int((mistakes & ~evals.truth_valid).sum())
+    # -1: valid file judged invalid (restrictive mistake)
+    restrictive = int((mistakes & evals.truth_valid).sum())
+    return (permissive - restrictive) / n_mistakes
+
+
+@dataclass
+class MetricsReport:
+    """The paper's full metric set for one judge/pipeline on one suite."""
+
+    label: str
+    rows: list[IssueRow]
+    total_count: int
+    total_mistakes: int
+    overall_accuracy: float
+    bias: float
+
+    @classmethod
+    def from_evaluations(cls, label: str, evals: EvaluationSet) -> "MetricsReport":
+        rows = per_issue_rows(evals)
+        mistakes = int((~evals.correct).sum())
+        return cls(
+            label=label,
+            rows=rows,
+            total_count=len(evals),
+            total_mistakes=mistakes,
+            overall_accuracy=overall_accuracy(evals),
+            bias=bias(evals),
+        )
+
+    def row_for(self, issue: int) -> IssueRow | None:
+        for row in self.rows:
+            if row.issue == issue:
+                return row
+        return None
+
+    def accuracy_for(self, issue: int) -> float | None:
+        row = self.row_for(issue)
+        return row.accuracy if row is not None else None
+
+
+def score_evaluations(label: str, files, verdicts_valid) -> MetricsReport:
+    """One-call scoring: files + verdicts → full metrics report."""
+    evals = EvaluationSet.from_records(files, verdicts_valid)
+    return MetricsReport.from_evaluations(label, evals)

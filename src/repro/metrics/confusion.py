@@ -1,0 +1,127 @@
+"""Confusion matrices and per-dimension breakdowns (extension).
+
+The paper reports accuracy/bias; downstream users of a judge usually
+also want the full confusion matrix (precision/recall over "invalid" as
+the positive class — the class you are trying to catch) and breakdowns
+by language or template family to find systematic blind spots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.corpus.generator import TestFile
+from repro.metrics.accuracy import EvaluationSet
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion over 'invalid' as the positive class.
+
+    * true positive  — invalid file judged invalid (caught);
+    * false negative — invalid file judged valid (slipped through);
+    * false positive — valid file judged invalid (wrongly rejected);
+    * true negative  — valid file judged valid.
+    """
+
+    true_positive: int
+    false_negative: int
+    false_positive: int
+    true_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive + self.false_negative
+            + self.false_positive + self.true_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positive + self.true_negative) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Of the files rejected, how many deserved it?"""
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Of the invalid files, how many were caught?"""
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_pass_rate(self) -> float:
+        """Invalid tests admitted into the suite — the costly mistake."""
+        denom = self.true_positive + self.false_negative
+        return self.false_negative / denom if denom else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "                 judged invalid   judged valid",
+                f"  truly invalid  {self.true_positive:14d}   {self.false_negative:12d}",
+                f"  truly valid    {self.false_positive:14d}   {self.true_negative:12d}",
+                f"  precision {self.precision:.1%}  recall {self.recall:.1%}  "
+                f"F1 {self.f1:.1%}  false-pass {self.false_pass_rate:.1%}",
+            ]
+        )
+
+
+def confusion_matrix(evals: EvaluationSet) -> ConfusionMatrix:
+    """Confusion matrix from an evaluation set."""
+    truly_invalid = ~evals.truth_valid
+    judged_invalid = ~evals.judged_valid
+    return ConfusionMatrix(
+        true_positive=int((truly_invalid & judged_invalid).sum()),
+        false_negative=int((truly_invalid & ~judged_invalid).sum()),
+        false_positive=int((~truly_invalid & judged_invalid).sum()),
+        true_negative=int((~truly_invalid & ~judged_invalid).sum()),
+    )
+
+
+@dataclass
+class BreakdownRow:
+    key: str
+    count: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.count if self.count else 0.0
+
+
+def breakdown_by(
+    files: list[TestFile], verdicts_valid: list[bool], key: str
+) -> list[BreakdownRow]:
+    """Per-dimension accuracy: ``key`` in {'language', 'template', 'model'}."""
+    if key not in ("language", "template", "model"):
+        raise ValueError(f"unsupported breakdown key {key!r}")
+    counts: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+    for test, judged in zip(files, verdicts_valid):
+        bucket = counts[getattr(test, key)]
+        bucket[0] += 1
+        if judged == test.is_valid:
+            bucket[1] += 1
+    return [
+        BreakdownRow(key=name, count=total, correct=correct)
+        for name, (total, correct) in sorted(counts.items())
+    ]
+
+
+def render_breakdown(rows: list[BreakdownRow], title: str = "") -> str:
+    lines = [title] if title else []
+    width = max((len(r.key) for r in rows), default=8)
+    for row in rows:
+        lines.append(
+            f"  {row.key.ljust(width)}  {row.correct:4d}/{row.count:<4d}  {row.accuracy:6.1%}"
+        )
+    return "\n".join(lines)

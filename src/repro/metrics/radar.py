@@ -1,0 +1,112 @@
+"""Radar-figure data (paper Figures 3-6) and an ASCII renderer.
+
+The paper's radar plots collapse the six issue rows onto axes:
+
+* **model errors** — issue 0 (broken/removed directive constructs);
+* **improper syntax** — issues 1 and 2 (brackets, undeclared variables);
+* **no directives** — issue 3 (random non-directive code);
+* **test logic** — issue 4 (removed last bracketed section);
+* **valid tests** — issue 5 (unchanged files; present on the LLMJ
+  figures 5/6).
+
+Figures 3/4 use the first four axes for Pipelines 1 and 2; figures 5/6
+add the fifth axis and plot all three judges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.metrics.accuracy import MetricsReport
+
+RADAR_CATEGORIES = [
+    ("model errors", (0,)),
+    ("improper syntax", (1, 2)),
+    ("no directives", (3,)),
+    ("test logic", (4,)),
+]
+
+RADAR_CATEGORIES_WITH_VALID = RADAR_CATEGORIES + [("valid tests", (5,))]
+
+
+@dataclass(frozen=True)
+class RadarSeries:
+    """One polygon on a radar figure."""
+
+    label: str
+    axes: tuple[str, ...]
+    values: tuple[float, ...]  # accuracies in [0, 1]
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.axes, self.values))
+
+
+def radar_series(
+    report: MetricsReport, include_valid_axis: bool = False
+) -> RadarSeries:
+    """Collapse a per-issue report onto the figure's radar axes."""
+    categories = RADAR_CATEGORIES_WITH_VALID if include_valid_axis else RADAR_CATEGORIES
+    axes: list[str] = []
+    values: list[float] = []
+    for name, issues in categories:
+        total = 0
+        correct = 0
+        for issue in issues:
+            row = report.row_for(issue)
+            if row is not None:
+                total += row.count
+                correct += row.correct
+        axes.append(name)
+        values.append(correct / total if total else 0.0)
+    return RadarSeries(label=report.label, axes=tuple(axes), values=tuple(values))
+
+
+def render_ascii_radar(series_list: list[RadarSeries], width: int = 41) -> str:
+    """A terminal rendering of a radar figure.
+
+    Each series plots one marker per axis along a spoke from the
+    center; the caption lists exact values (the plot is qualitative,
+    the caption quantitative — like the paper's figures plus tables).
+    """
+    if not series_list:
+        return "(empty radar)"
+    axes = series_list[0].axes
+    n_axes = len(axes)
+    height = width // 2 + 1
+    cx, cy = width // 2, height // 2
+    radius = min(cx, cy) - 1
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def plot(x: float, y: float, ch: str) -> None:
+        col = int(round(cx + x))
+        row = int(round(cy - y / 2))  # terminal cells are ~2:1
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = ch
+
+    # spokes and rings
+    for k in range(n_axes):
+        angle = math.pi / 2 - 2 * math.pi * k / n_axes
+        for r10 in range(0, radius * 10, 3):
+            r = r10 / 10
+            plot(r * math.cos(angle), r * math.sin(angle), ".")
+        plot(radius * math.cos(angle), radius * math.sin(angle), "+")
+    markers = "ox*#@"
+    for idx, series in enumerate(series_list):
+        ch = markers[idx % len(markers)]
+        for k, value in enumerate(series.values):
+            angle = math.pi / 2 - 2 * math.pi * k / n_axes
+            r = value * radius
+            plot(r * math.cos(angle), r * math.sin(angle), ch)
+    plot(0, 0, "·")
+
+    lines = ["".join(row).rstrip() for row in grid]
+    lines.append("")
+    lines.append("axes (clockwise from top): " + ", ".join(axes))
+    for idx, series in enumerate(series_list):
+        ch = markers[idx % len(markers)]
+        values = ", ".join(
+            f"{axis}={value:.0%}" for axis, value in zip(series.axes, series.values)
+        )
+        lines.append(f"  {ch} {series.label}: {values}")
+    return "\n".join(line for line in lines if line is not None)

@@ -1,0 +1,109 @@
+"""Rendering of paper-style tables as aligned text.
+
+Three shapes cover Tables I-IX:
+
+* :func:`render_issue_table` — single judge, per-issue rows
+  (Tables I, II);
+* :func:`render_comparison_table` — two judges/pipelines side by side,
+  per-issue rows (Tables IV, V, VII, VIII);
+* :func:`render_overall_table` — the overall accuracy/bias datapoint
+  tables (Tables III, VI, IX).
+"""
+
+from __future__ import annotations
+
+from repro.metrics.accuracy import MetricsReport
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), sep]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_issue_table(report: MetricsReport, title: str = "") -> str:
+    """Per-issue table for one judge (Tables I / II shape)."""
+    headers = ["Issue Type", "Total Count", "Correct", "Incorrect", "Accuracy"]
+    rows = [
+        [
+            row.description,
+            str(row.count),
+            str(row.correct),
+            str(row.incorrect),
+            f"{row.accuracy:.0%}",
+        ]
+        for row in report.rows
+    ]
+    body = _format_table(headers, rows)
+    return f"{title}\n{body}" if title else body
+
+
+def render_comparison_table(
+    report_a: MetricsReport, report_b: MetricsReport, title: str = ""
+) -> str:
+    """Side-by-side per-issue table (Tables IV / V / VII / VIII shape)."""
+    headers = [
+        "Issue Type",
+        "Total Count",
+        f"{report_a.label} Correct",
+        f"{report_b.label} Correct",
+        f"{report_a.label} Accuracy",
+        f"{report_b.label} Accuracy",
+    ]
+    rows = []
+    for row_a in report_a.rows:
+        row_b = report_b.row_for(row_a.issue)
+        rows.append(
+            [
+                row_a.description,
+                str(row_a.count),
+                str(row_a.correct),
+                str(row_b.correct) if row_b else "-",
+                f"{row_a.accuracy:.0%}",
+                f"{row_b.accuracy:.0%}" if row_b else "-",
+            ]
+        )
+    body = _format_table(headers, rows)
+    return f"{title}\n{body}" if title else body
+
+
+def render_overall_table(
+    reports_by_column: dict[str, list[MetricsReport]], title: str = ""
+) -> str:
+    """Overall datapoint table (Tables III / VI / IX shape).
+
+    ``reports_by_column`` maps a column label (e.g. "OpenACC") to the
+    reports appearing in that column (one per judge/pipeline).
+    """
+    columns = list(reports_by_column.keys())
+    headers = ["Datapoint"] + columns
+    first_col_reports = reports_by_column[columns[0]]
+    rows: list[list[str]] = []
+    rows.append(
+        ["Total Count"]
+        + [str(reports_by_column[c][0].total_count) for c in columns]
+    )
+    for idx, report in enumerate(first_col_reports):
+        rows.append(
+            [f"Total {report.label} Mistakes"]
+            + [str(reports_by_column[c][idx].total_mistakes) for c in columns]
+        )
+    for idx, report in enumerate(first_col_reports):
+        rows.append(
+            [f"Overall {report.label} Accuracy"]
+            + [f"{reports_by_column[c][idx].overall_accuracy:.2%}" for c in columns]
+        )
+    for idx, report in enumerate(first_col_reports):
+        rows.append(
+            [f"{report.label} Bias"]
+            + [f"{reports_by_column[c][idx].bias:+.3f}" for c in columns]
+        )
+    body = _format_table(headers, rows)
+    return f"{title}\n{body}" if title else body

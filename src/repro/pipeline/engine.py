@@ -1,0 +1,261 @@
+"""The staged, parallel validation pipeline.
+
+Three worker pools connected by bounded queues (classic
+producer/consumer with sentinel shutdown):
+
+.. code-block:: text
+
+    files -> [compile xN] -> [execute xN] -> [judge xN] -> records
+
+Early-exit mode drops failing files out of the flow immediately with
+an ``invalid`` verdict; record-all mode carries them through so the
+Part Two experiments can score judge-only and pipeline verdicts from
+one pass.  Bounded queues give back-pressure; per-stage worker counts
+are independent knobs (the paper's §III-C: compile and execute pools,
+an LLM stage sized to GPU availability).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.compiler.driver import Compiler
+from repro.corpus.generator import TestFile
+from repro.judge.agent import ToolReport
+from repro.judge.llmj import AgentLLMJ, JudgeResult
+from repro.llm.model import DeepSeekCoderSim
+from repro.pipeline.stats import PipelineStats
+from repro.runtime.executor import ExecutionResult, Executor
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline tuning knobs."""
+
+    flavor: str = "acc"
+    judge_kind: str = "direct"  # 'direct' (LLMJ 1) | 'indirect' (LLMJ 2)
+    early_exit: bool = True
+    compile_workers: int = 2
+    execute_workers: int = 2
+    judge_workers: int = 1
+    queue_capacity: int = 64
+    openmp_max_version: float = 4.5
+    step_limit: int = 3_000_000
+    model_seed: int = 20240822
+
+    def __post_init__(self) -> None:
+        if self.flavor not in ("acc", "omp"):
+            raise ValueError(f"flavor must be 'acc' or 'omp', got {self.flavor!r}")
+        if self.judge_kind not in ("direct", "indirect"):
+            raise ValueError(f"judge_kind must be 'direct' or 'indirect', got {self.judge_kind!r}")
+        for knob in ("compile_workers", "execute_workers", "judge_workers"):
+            if getattr(self, knob) < 1:
+                raise ValueError(f"{knob} must be >= 1")
+
+
+@dataclass
+class PipelineRecord:
+    """Everything the pipeline learned about one file."""
+
+    test: TestFile
+    compile_rc: int = -1
+    compile_stderr: str = ""
+    diagnostic_codes: tuple[str, ...] = ()
+    run_rc: int | None = None
+    run_stderr: str | None = None
+    run_stdout: str | None = None
+    judge_result: JudgeResult | None = None
+    judge_skipped: bool = False
+
+    @property
+    def compiled(self) -> bool:
+        return self.compile_rc == 0
+
+    @property
+    def ran_clean(self) -> bool:
+        return self.run_rc == 0
+
+    @property
+    def pipeline_says_valid(self) -> bool:
+        """The pipeline verdict: every stage must pass."""
+        if not self.compiled or self.run_rc not in (0,):
+            return False
+        if self.judge_result is None:
+            return False
+        return self.judge_result.says_valid
+
+    @property
+    def judge_says_valid(self) -> bool | None:
+        """The judge-only verdict (None if the judge never ran)."""
+        if self.judge_result is None:
+            return None
+        return self.judge_result.says_valid
+
+    def tool_report(self) -> ToolReport:
+        return ToolReport(
+            compile_rc=self.compile_rc,
+            compile_stderr=self.compile_stderr,
+            compile_stdout="",
+            run_rc=self.run_rc,
+            run_stderr=self.run_stderr,
+            run_stdout=self.run_stdout,
+            diagnostic_codes=self.diagnostic_codes,
+        )
+
+
+@dataclass
+class PipelineResult:
+    records: list[PipelineRecord] = field(default_factory=list)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    def record_for(self, name: str) -> PipelineRecord | None:
+        for record in self.records:
+            if record.test.name == name:
+                return record
+        return None
+
+
+class ValidationPipeline:
+    """Run files through compile → execute → judge with thread pools.
+
+    ``environment`` optionally post-processes compile results (see
+    :class:`repro.experiments.environment.EnvironmentModel`).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        model: DeepSeekCoderSim | None = None,
+        environment=None,
+    ):
+        self.config = config
+        self.model = model or DeepSeekCoderSim(seed=config.model_seed)
+        self.environment = environment
+
+    # ------------------------------------------------------------------
+
+    def run(self, files: list[TestFile]) -> PipelineResult:
+        cfg = self.config
+        result = PipelineResult()
+        result.stats.files_total = len(files)
+        results_lock = threading.Lock()
+
+        compile_q: queue.Queue = queue.Queue(maxsize=cfg.queue_capacity)
+        execute_q: queue.Queue = queue.Queue(maxsize=cfg.queue_capacity)
+        judge_q: queue.Queue = queue.Queue(maxsize=cfg.queue_capacity)
+
+        def finish(record: PipelineRecord) -> None:
+            with results_lock:
+                result.records.append(record)
+
+        # ------------------------------------------------ compile stage
+        def compile_worker() -> None:
+            compiler = Compiler(model=cfg.flavor, openmp_max_version=cfg.openmp_max_version)
+            while True:
+                item = compile_q.get()
+                if item is _SENTINEL:
+                    compile_q.task_done()
+                    return
+                test: TestFile = item
+                t0 = time.perf_counter()
+                compiled = compiler.compile(test.source, test.name)
+                if self.environment is not None:
+                    compiled = self.environment.apply(test, compiled)
+                busy = time.perf_counter() - t0
+                record = PipelineRecord(
+                    test=test,
+                    compile_rc=compiled.returncode,
+                    compile_stderr=compiled.stderr,
+                    diagnostic_codes=tuple(compiled.diagnostic_codes),
+                )
+                result.stats.compile.record(compiled.ok, busy, busy)
+                if compiled.ok:
+                    execute_q.put((record, compiled))
+                elif cfg.early_exit:
+                    result.stats.execute.record_skip()
+                    result.stats.judge.record_skip()
+                    finish(record)
+                else:
+                    # record-all: judge sees the failed compile via its prompt
+                    judge_q.put(record)
+                compile_q.task_done()
+
+        # ------------------------------------------------ execute stage
+        def execute_worker() -> None:
+            executor = Executor(step_limit=cfg.step_limit)
+            while True:
+                item = execute_q.get()
+                if item is _SENTINEL:
+                    execute_q.task_done()
+                    return
+                record, compiled = item
+                t0 = time.perf_counter()
+                executed: ExecutionResult = executor.run(compiled)
+                busy = time.perf_counter() - t0
+                record.run_rc = executed.returncode
+                record.run_stderr = executed.stderr
+                record.run_stdout = executed.stdout
+                result.stats.execute.record(executed.ok, busy, busy)
+                if executed.ok or not cfg.early_exit:
+                    judge_q.put(record)
+                else:
+                    result.stats.judge.record_skip()
+                    finish(record)
+                execute_q.task_done()
+
+        # ------------------------------------------------ judge stage
+        def judge_worker() -> None:
+            judge = AgentLLMJ(self.model, cfg.flavor, kind=cfg.judge_kind)
+            while True:
+                item = judge_q.get()
+                if item is _SENTINEL:
+                    judge_q.task_done()
+                    return
+                record: PipelineRecord = item
+                t0 = time.perf_counter()
+                judged = judge.judge(record.test, record.tool_report())
+                busy = time.perf_counter() - t0
+                record.judge_result = judged
+                result.stats.judge.record(
+                    judged.says_valid, busy, judged.simulated_seconds
+                )
+                finish(record)
+                judge_q.task_done()
+
+        started = time.perf_counter()
+        compile_pool = _spawn(compile_worker, cfg.compile_workers)
+        execute_pool = _spawn(execute_worker, cfg.execute_workers)
+        judge_pool = _spawn(judge_worker, cfg.judge_workers)
+
+        for test in files:
+            compile_q.put(test)
+        _drain(compile_q, compile_pool)
+        _drain(execute_q, execute_pool)
+        _drain(judge_q, judge_pool)
+        result.stats.wall_seconds = time.perf_counter() - started
+
+        # deterministic output order regardless of thread interleaving
+        order = {test.name: i for i, test in enumerate(files)}
+        result.records.sort(key=lambda r: order.get(r.test.name, 1 << 30))
+        return result
+
+
+def _spawn(target, count: int) -> list[threading.Thread]:
+    threads = [threading.Thread(target=target, daemon=True) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    return threads
+
+
+def _drain(q: queue.Queue, pool: list[threading.Thread]) -> None:
+    """Wait for a stage to finish, then shut its workers down."""
+    q.join()
+    for _ in pool:
+        q.put(_SENTINEL)
+    for thread in pool:
+        thread.join()

@@ -1,0 +1,93 @@
+"""Pipeline instrumentation: per-stage counters and timing.
+
+Wall-clock timings measure the Python substrate; *simulated* time
+additionally charges the LLM stage with the 33B service-rate cost model
+so the early-exit ablation shows the effect the paper argues for
+(skipping the judge for already-failed files).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageStats:
+    """Counters for one stage, updated by its workers."""
+
+    name: str
+    processed: int = 0
+    passed: int = 0
+    failed: int = 0
+    skipped: int = 0
+    busy_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, passed: bool, busy: float, simulated: float = 0.0) -> None:
+        with self._lock:
+            self.processed += 1
+            if passed:
+                self.passed += 1
+            else:
+                self.failed += 1
+            self.busy_seconds += busy
+            self.simulated_seconds += simulated
+
+    def record_skip(self) -> None:
+        with self._lock:
+            self.skipped += 1
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "processed": self.processed,
+                "passed": self.passed,
+                "failed": self.failed,
+                "skipped": self.skipped,
+                "busy_seconds": round(self.busy_seconds, 4),
+                "simulated_seconds": round(self.simulated_seconds, 4),
+            }
+
+
+@dataclass
+class PipelineStats:
+    """Whole-run statistics."""
+
+    compile: StageStats = field(default_factory=lambda: StageStats("compile"))
+    execute: StageStats = field(default_factory=lambda: StageStats("execute"))
+    judge: StageStats = field(default_factory=lambda: StageStats("judge"))
+    wall_seconds: float = 0.0
+    files_total: int = 0
+
+    @property
+    def stages(self) -> list[StageStats]:
+        return [self.compile, self.execute, self.judge]
+
+    @property
+    def throughput(self) -> float:
+        """Files per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.files_total / self.wall_seconds
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated stage time (the GPU-bound judge dominates)."""
+        return sum(stage.simulated_seconds for stage in self.stages)
+
+    @property
+    def judge_invocations_saved(self) -> int:
+        """Files the early-exit policy kept away from the LLM."""
+        return self.judge.skipped
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "files_total": self.files_total,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_files_per_second": round(self.throughput, 3),
+            "simulated_seconds": round(self.simulated_seconds, 2),
+            "judge_invocations_saved": self.judge_invocations_saved,
+            "stages": {stage.name: stage.snapshot() for stage in self.stages},
+        }

@@ -1,0 +1,31 @@
+"""Negative probing: controlled corruption of valid compiler tests.
+
+Implements the paper's five issue types (§III-A):
+
+* **0** — removed memory allocation / directive swapped for a
+  syntactically incorrect one;
+* **1** — removed an opening bracket;
+* **2** — added use of an undeclared variable;
+* **3** — file replaced with randomly generated non-directive code;
+* **4** — removed the last bracketed section of code;
+* **5** — no change (the valid control group).
+
+:class:`~repro.probing.prober.NegativeProber` applies the paper's
+protocol: split a suite in half, mutate one half (issues drawn
+uniformly), keep the other half unchanged, and tag every file with its
+issue id as ground truth.
+"""
+
+from repro.probing.mutators import ISSUE_DESCRIPTIONS, MutationError, Mutator, mutator_for_issue
+from repro.probing.prober import NegativeProber, ProbingSuite
+from repro.probing.randomcode import RandomCodeGenerator
+
+__all__ = [
+    "ISSUE_DESCRIPTIONS",
+    "MutationError",
+    "Mutator",
+    "mutator_for_issue",
+    "NegativeProber",
+    "ProbingSuite",
+    "RandomCodeGenerator",
+]

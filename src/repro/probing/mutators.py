@@ -1,0 +1,331 @@
+"""Mutation operators implementing the paper's five issue types.
+
+Each mutator takes valid source text and returns a corrupted variant.
+The operators are deliberately faithful to how the defects behave under
+a real toolchain:
+
+* issues 0a (directive swap), 1 (opening bracket) and 2 (undeclared
+  variable) are always compile errors;
+* issue 0b (removed allocation) compiles but faults at run time;
+* issue 3 (random non-directive code) may or may not compile — when it
+  does, only the judge can flag it;
+* issue 4 (removed last bracketed section) usually *keeps compiling*:
+  deleting a complete ``{...}`` block (typically the final self-check)
+  leaves balanced, runnable code whose only defect is missing test
+  logic — exactly the failure mode the paper found hardest to catch.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.corpus.generator import TestFile
+from repro.probing.randomcode import RandomCodeGenerator
+
+ISSUE_DESCRIPTIONS = {
+    0: "Removed memory allocation / swapped directive with a syntactically incorrect directive",
+    1: "Removed an opening bracket",
+    2: "Added use of undeclared variable",
+    3: "Replaced file with randomly generated non-directive code",
+    4: "Removed last bracketed section of code",
+    5: "No issue",
+}
+
+
+class MutationError(Exception):
+    """The mutation is not applicable to this source file."""
+
+
+class Mutator:
+    """Base class: apply one issue type to a test file."""
+
+    issue: int = -1
+
+    def mutate(self, test: TestFile, rng: random.Random) -> TestFile:
+        if test.language == "f90":
+            mutated = self.mutate_fortran(test.source, rng)
+        else:
+            mutated = self.mutate_c(test.source, rng)
+        return test.with_issue(self.issue, mutated)
+
+    def mutate_c(self, source: str, rng: random.Random) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def mutate_fortran(self, source: str, rng: random.Random) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Issue 0 — removed allocation / swapped directive
+# ---------------------------------------------------------------------------
+
+_MISSPELLINGS = {
+    "parallel": ["paralel", "parallell", "parrallel", "parallel_for"],
+    "kernels": ["kernel", "kernells", "kernles"],
+    "serial": ["serail", "seriall"],
+    "loop": ["lopo", "looop", "lop"],
+    "data": ["dta", "datta", "dataa"],
+    "target": ["traget", "targit", "targett"],
+    "teams": ["teems", "taems"],
+    "distribute": ["distrbute", "distributee", "distribut"],
+    "for": ["fore", "forr"],
+    "simd": ["smid", "simdd"],
+    "atomic": ["atomicc", "atmoic"],
+    "update": ["updte", "updatee"],
+    "enter": ["entr", "enterr"],
+    "exit": ["exitt", "exot"],
+    "sections": ["sectoins", "sektions"],
+    "single": ["signle", "singel"],
+    "critical": ["critcal", "crtical"],
+    "task": ["tsk", "taks"],
+    "barrier": ["barier", "barrrier"],
+    "master": ["mater", "mastre"],
+    "wait": ["wiat", "waitt"],
+}
+
+_MALLOC_RE = re.compile(
+    r"=\s*\([A-Za-z_][\w ]*\*+\s*\)\s*malloc\s*\([^;]*\)\s*;"
+)
+
+
+class DirectiveOrAllocationMutator(Mutator):
+    """Issue 0: drop a malloc initializer or corrupt a directive word."""
+
+    issue = 0
+
+    def mutate_c(self, source: str, rng: random.Random) -> str:
+        has_malloc = _MALLOC_RE.search(source) is not None
+        pragmas = _pragma_lines(source)
+        strategies = []
+        if has_malloc:
+            strategies.append("alloc")
+        if pragmas:
+            strategies.append("directive")
+        if not strategies:
+            raise MutationError("no malloc and no directive to corrupt")
+        strategy = rng.choice(strategies)
+        if strategy == "alloc":
+            # 'double *a = (double*)malloc(...);' -> 'double *a;'
+            return _MALLOC_RE.sub(";", source, count=1)
+        return _corrupt_pragma(source, pragmas, rng)
+
+    def mutate_fortran(self, source: str, rng: random.Random) -> str:
+        lines = source.splitlines()
+        candidates = [i for i, line in enumerate(lines) if line.strip().lower().startswith("!$")]
+        if not candidates:
+            raise MutationError("no Fortran directive to corrupt")
+        idx = rng.choice(candidates)
+        lines[idx] = _misspell_words(lines[idx], rng)
+        return "\n".join(lines) + "\n"
+
+
+def _pragma_lines(source: str) -> list[int]:
+    return [
+        i
+        for i, line in enumerate(source.splitlines())
+        if re.match(r"\s*#pragma\s+(acc|omp)\b", line)
+    ]
+
+
+def _corrupt_pragma(source: str, pragma_line_indices: list[int], rng: random.Random) -> str:
+    lines = source.splitlines()
+    idx = rng.choice(pragma_line_indices)
+    lines[idx] = _misspell_words(lines[idx], rng)
+    return "\n".join(lines) + "\n"
+
+
+def _misspell_words(line: str, rng: random.Random) -> str:
+    words = [w for w in _MISSPELLINGS if re.search(rf"\b{w}\b", line)]
+    if not words:
+        # no known word: corrupt the model token itself (acc -> ac)
+        return re.sub(r"\b(acc|omp)\b", lambda m: m.group(0)[:-1], line, count=1)
+    word = rng.choice(words)
+    replacement = rng.choice(_MISSPELLINGS[word])
+    return re.sub(rf"\b{word}\b", replacement, line, count=1)
+
+
+# ---------------------------------------------------------------------------
+# Issue 1 — removed an opening bracket
+# ---------------------------------------------------------------------------
+
+
+class OpeningBracketMutator(Mutator):
+    """Issue 1: delete one '{' (C) or one 'do' header line (Fortran)."""
+
+    issue = 1
+
+    def mutate_c(self, source: str, rng: random.Random) -> str:
+        positions = [m.start() for m in re.finditer(r"\{", source)]
+        if not positions:
+            raise MutationError("no opening bracket present")
+        pos = rng.choice(positions)
+        return source[:pos] + source[pos + 1:]
+
+    def mutate_fortran(self, source: str, rng: random.Random) -> str:
+        lines = source.splitlines()
+        openers = [
+            i
+            for i, line in enumerate(lines)
+            if re.match(r"\s*do\s+\w+\s*=", line, re.IGNORECASE)
+            or re.match(r"\s*if\s*\(.*\)\s*then\s*$", line, re.IGNORECASE)
+        ]
+        if not openers:
+            raise MutationError("no block opener present")
+        del lines[rng.choice(openers)]
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Issue 2 — added use of undeclared variable
+# ---------------------------------------------------------------------------
+
+_UNDELARED_NAMES = ["chk_total", "result_code", "scratch_v", "norm_val", "tmp_accum"]
+
+
+class UndeclaredVariableMutator(Mutator):
+    """Issue 2: insert a statement that uses a never-declared variable."""
+
+    issue = 2
+
+    def mutate_c(self, source: str, rng: random.Random) -> str:
+        lines = source.splitlines()
+        # insertion points: after a simple statement inside a function body
+        spots = [
+            i
+            for i, line in enumerate(lines)
+            if line.rstrip().endswith(";") and not line.lstrip().startswith("#")
+            and "return" not in line
+        ]
+        if not spots:
+            raise MutationError("no statement to anchor the undeclared use")
+        idx = rng.choice(spots)
+        name = rng.choice(_UNDELARED_NAMES)
+        indent = re.match(r"\s*", lines[idx]).group(0)
+        form = rng.randrange(3)
+        if form == 0:
+            inserted = f"{indent}{name} = {name} + 1;"
+        elif form == 1:
+            inserted = f"{indent}{name} += {rng.randint(1, 9)};"
+        else:
+            inserted = f"{indent}if ({name} > 0) {{ {name} = 0; }}"
+        lines.insert(idx + 1, inserted)
+        return "\n".join(lines) + "\n"
+
+    def mutate_fortran(self, source: str, rng: random.Random) -> str:
+        lines = source.splitlines()
+        spots = [
+            i
+            for i, line in enumerate(lines)
+            if re.match(r"\s*\w+(\(\w+\))?\s*=", line) and "::" not in line
+        ]
+        if not spots:
+            raise MutationError("no assignment to anchor the undeclared use")
+        idx = rng.choice(spots)
+        name = rng.choice(_UNDELARED_NAMES)
+        indent = re.match(r"\s*", lines[idx]).group(0)
+        lines.insert(idx + 1, f"{indent}{name} = {name} + 1.0")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Issue 3 — replaced with random non-directive code
+# ---------------------------------------------------------------------------
+
+
+class RandomReplacementMutator(Mutator):
+    """Issue 3: replace the whole file with random plain code."""
+
+    issue = 3
+
+    def __init__(self, valid_fraction: float = 0.6):
+        self.valid_fraction = valid_fraction
+
+    def mutate(self, test: TestFile, rng: random.Random) -> TestFile:
+        generator = RandomCodeGenerator(rng=rng, valid_fraction=self.valid_fraction)
+        if test.language == "f90":
+            return test.with_issue(self.issue, generator.generate_fortran())
+        return test.with_issue(self.issue, generator.generate())
+
+    def mutate_c(self, source: str, rng: random.Random) -> str:
+        return RandomCodeGenerator(rng=rng, valid_fraction=self.valid_fraction).generate()
+
+    def mutate_fortran(self, source: str, rng: random.Random) -> str:
+        return RandomCodeGenerator(rng=rng, valid_fraction=self.valid_fraction).generate_fortran()
+
+
+# ---------------------------------------------------------------------------
+# Issue 4 — removed last bracketed section
+# ---------------------------------------------------------------------------
+
+
+class LastSectionMutator(Mutator):
+    """Issue 4: delete the last complete ``{...}`` block.
+
+    Scanning from the end, the last '{' opens the innermost final block
+    — in V&V-style tests that is almost always the error-reporting
+    branch (``if (err) { ... return 1; }``), so the mutant stays
+    compilable and exits 0 unconditionally: an invalid test that only
+    judge-level reasoning can catch.
+    """
+
+    issue = 4
+
+    def mutate_c(self, source: str, rng: random.Random) -> str:
+        last_open = source.rfind("{")
+        if last_open < 0:
+            raise MutationError("no bracketed section present")
+        depth = 0
+        end = None
+        for i in range(last_open, len(source)):
+            if source[i] == "{":
+                depth += 1
+            elif source[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        if end is None:
+            raise MutationError("unbalanced source; cannot locate section end")
+        return source[:last_open] + source[end + 1:]
+
+    def mutate_fortran(self, source: str, rng: random.Random) -> str:
+        lines = source.splitlines()
+        # remove the last 'if ... then' ... 'end if' block, inclusive
+        end_idx = None
+        for i in range(len(lines) - 1, -1, -1):
+            if re.match(r"\s*end\s*if\b", lines[i], re.IGNORECASE):
+                end_idx = i
+                break
+        if end_idx is None:
+            raise MutationError("no block to remove")
+        depth = 0
+        start_idx = None
+        for i in range(end_idx, -1, -1):
+            if re.match(r"\s*end\s*if\b", lines[i], re.IGNORECASE):
+                depth += 1
+            elif re.match(r"\s*if\s*\(.*\)\s*then\s*$", lines[i], re.IGNORECASE):
+                depth -= 1
+                if depth == 0:
+                    start_idx = i
+                    break
+        if start_idx is None:
+            raise MutationError("unbalanced Fortran blocks")
+        del lines[start_idx : end_idx + 1]
+        return "\n".join(lines) + "\n"
+
+
+_MUTATORS: dict[int, Mutator] = {}
+
+
+def mutator_for_issue(issue: int, valid_fraction_random: float = 0.6) -> Mutator:
+    """The mutator implementing one issue id (0-4)."""
+    if issue == 3:
+        return RandomReplacementMutator(valid_fraction=valid_fraction_random)
+    if not _MUTATORS:
+        for cls in (DirectiveOrAllocationMutator, OpeningBracketMutator,
+                    UndeclaredVariableMutator, LastSectionMutator):
+            _MUTATORS[cls.issue] = cls()
+    if issue not in _MUTATORS:
+        raise ValueError(f"no mutator for issue {issue}")
+    return _MUTATORS[issue]

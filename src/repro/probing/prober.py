@@ -1,0 +1,85 @@
+"""The negative-probing protocol (paper §III-A).
+
+Split a suite in half at random; mutate one half with issues drawn
+from a weighted distribution; leave the other half unchanged (issue 5).
+The result is a :class:`ProbingSuite` carrying ground-truth validity
+for every file, which the metrics layer scores judges against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.generator import TestFile
+from repro.corpus.suite import TestSuite
+from repro.probing.mutators import MutationError, mutator_for_issue
+
+#: Issue mix approximating the per-issue counts in the paper's tables
+#: (issue 0 is over-represented because it has two sub-strategies).
+DEFAULT_ISSUE_WEIGHTS: dict[int, float] = {0: 0.30, 1: 0.18, 2: 0.16, 3: 0.18, 4: 0.18}
+
+
+@dataclass
+class ProbingSuite:
+    """A probed population: mutated + unchanged files with ground truth."""
+
+    name: str
+    model: str
+    files: list[TestFile] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __iter__(self):
+        return iter(self.files)
+
+    def by_issue(self, issue: int) -> list[TestFile]:
+        if issue == 5:
+            return [f for f in self.files if f.issue in (None, 5)]
+        return [f for f in self.files if f.issue == issue]
+
+    def issue_counts(self) -> dict[int, int]:
+        counts = {i: 0 for i in range(6)}
+        for f in self.files:
+            counts[5 if f.issue in (None, 5) else f.issue] += 1
+        return counts
+
+    def ground_truth(self) -> list[bool]:
+        """Per-file validity (True = valid), paper's verification system."""
+        return [f.is_valid for f in self.files]
+
+
+@dataclass
+class NegativeProber:
+    """Applies the split-and-mutate protocol with a seeded RNG."""
+
+    seed: int = 42
+    issue_weights: dict[int, float] = field(default_factory=lambda: dict(DEFAULT_ISSUE_WEIGHTS))
+    random_code_valid_fraction: float = 0.6
+
+    def probe(self, suite: TestSuite) -> ProbingSuite:
+        """Produce the probing population from a valid suite."""
+        rng = random.Random(self.seed)
+        to_mutate, unchanged = suite.split_half(seed=rng.randrange(1 << 30))
+        issues = list(self.issue_weights.keys())
+        weights = [self.issue_weights[i] for i in issues]
+        out: list[TestFile] = []
+        for test in to_mutate:
+            issue = rng.choices(issues, weights=weights, k=1)[0]
+            out.append(self._apply(test, issue, rng))
+        for test in unchanged:
+            out.append(test.with_issue(5))
+        rng.shuffle(out)
+        return ProbingSuite(name=f"{suite.name}-probed", model=suite.model, files=out)
+
+    def _apply(self, test: TestFile, issue: int, rng: random.Random) -> TestFile:
+        """Mutate with fallback: if an issue is inapplicable, try others."""
+        order = [issue] + [i for i in (3, 4, 1, 2, 0) if i != issue]
+        for candidate in order:
+            mutator = mutator_for_issue(candidate, self.random_code_valid_fraction)
+            try:
+                return mutator.mutate(test, rng)
+            except MutationError:
+                continue
+        raise MutationError(f"no mutation applicable to {test.name}")

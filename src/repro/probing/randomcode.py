@@ -1,0 +1,155 @@
+"""Random non-directive code generation (negative-probing issue 3).
+
+The paper replaces a file's contents with "randomly generated
+non-OpenACC & OpenMP code".  The generator draws small programs from a
+mini-grammar of plain C (functions, loops, arithmetic, prints) with
+**no** directives at all.  A ``valid_fraction`` parameter controls how
+many of the generated files are themselves compilable, mirroring
+reality: random code sometimes compiles and runs cleanly, in which case
+only the judge stage can notice it is not a directive test at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_VAR_NAMES = ["val", "item", "total", "count", "acc", "tmp", "num", "res", "idx", "buf"]
+_FN_NAMES = ["process", "transform", "combine", "compute", "mix", "fold"]
+
+
+@dataclass
+class RandomCodeGenerator:
+    """Seeded generator of plain (non-directive) C programs."""
+
+    rng: random.Random
+    valid_fraction: float = 0.6
+
+    @classmethod
+    def with_seed(cls, seed: int, valid_fraction: float = 0.6) -> "RandomCodeGenerator":
+        return cls(rng=random.Random(seed), valid_fraction=valid_fraction)
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        """One random program; compilable with probability valid_fraction."""
+        source = self._generate_valid()
+        if self.rng.random() >= self.valid_fraction:
+            source = self._corrupt(source)
+        return source
+
+    def generate_fortran(self) -> str:
+        """Random plain Fortran (no directives)."""
+        n = self.rng.randint(10, 60)
+        k = self.rng.randint(2, 9)
+        body = f"""program noise
+  implicit none
+  integer :: i
+  real(8) :: v({n})
+  real(8) :: s
+  s = 0.0
+  do i = 1, {n}
+    v(i) = i * {k}.0
+    s = s + v(i)
+  end do
+  print *, s
+end program noise
+"""
+        if self.rng.random() >= self.valid_fraction:
+            body = body.replace("end do\n", "", 1)
+        return body
+
+    # ------------------------------------------------------------------
+
+    def _generate_valid(self) -> str:
+        rng = self.rng
+        fn_name = rng.choice(_FN_NAMES)
+        v1, v2, v3 = rng.sample(_VAR_NAMES, 3)
+        n = rng.randint(8, 64)
+        k1, k2 = rng.randint(2, 9), rng.randint(1, 5)
+        op = rng.choice(["+", "*", "-"])
+        helper_kind = rng.randrange(3)
+        if helper_kind == 0:
+            helper = f"""int {fn_name}(int {v1}, int {v2}) {{
+    int {v3} = {v1} {op} {v2};
+    if ({v3} < 0) {{
+        {v3} = -{v3};
+    }}
+    return {v3};
+}}
+"""
+            call = f"{fn_name}(i, {k1})"
+        elif helper_kind == 1:
+            helper = f"""int {fn_name}(int {v1}) {{
+    int {v3} = 0;
+    for (int j = 0; j < {v1}; j++) {{
+        {v3} += j % {k1 + 1};
+    }}
+    return {v3};
+}}
+"""
+            call = f"{fn_name}(i)"
+        else:
+            helper = f"""int {fn_name}(int {v1}) {{
+    if ({v1} <= 1) {{
+        return 1;
+    }}
+    return {v1} * {fn_name}({v1} - 2);
+}}
+"""
+            call = f"{fn_name}(i % 9)"
+        main_kind = rng.randrange(3)
+        if main_kind == 0:
+            main_body = f"""    int table[{n}];
+    int sum = 0;
+    for (int i = 0; i < {n}; i++) {{
+        table[i] = {call};
+        sum += table[i];
+    }}
+    printf("checksum: %d\\n", sum);"""
+        elif main_kind == 1:
+            main_body = f"""    int best = 0;
+    for (int i = 0; i < {n}; i++) {{
+        int cur = {call} + {k2};
+        if (cur > best) {{
+            best = cur;
+        }}
+    }}
+    printf("best: %d\\n", best);"""
+        else:
+            main_body = f"""    double series = 0.0;
+    for (int i = 1; i <= {n}; i++) {{
+        series += 1.0 / (double)({call} + 1);
+    }}
+    printf("series: %f\\n", series);"""
+        return f"""#include <stdio.h>
+#include <stdlib.h>
+
+{helper}
+int main() {{
+{main_body}
+    return 0;
+}}
+"""
+
+    def _corrupt(self, source: str) -> str:
+        """Break the random program so it does not compile."""
+        rng = self.rng
+        kind = rng.randrange(4)
+        if kind == 0:
+            # drop one opening brace
+            idx = source.find("{", source.find("main"))
+            if idx >= 0:
+                return source[:idx] + source[idx + 1:]
+        if kind == 1:
+            # reference a function that does not exist
+            return source.replace("return 0;", "return finalize_all();", 1)
+        if kind == 2:
+            # stray token soup in the middle
+            lines = source.splitlines()
+            pos = rng.randrange(max(1, len(lines) - 2))
+            lines.insert(pos + 1, "@@ lorem ipsum $$ 12 34 :::")
+            return "\n".join(lines) + "\n"
+        # truncate the tail
+        cut = rng.randint(len(source) // 2, len(source) - 10)
+        return source[:cut]

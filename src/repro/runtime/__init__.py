@@ -1,0 +1,14 @@
+"""Execution substrate: an AST interpreter with a simulated device.
+
+Runs the "compiled" translation units the driver produces and yields
+the observables a real test run yields: process return code, stdout,
+stderr.  Parallel constructs execute with serial semantics against a
+simulated device data environment (:mod:`repro.runtime.device`), which
+preserves the corpus' self-checking behaviour (tests exit 0 iff the
+serial and "device" results agree).
+"""
+
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.interpreter import Interpreter, RuntimeFault
+
+__all__ = ["ExecutionResult", "Executor", "Interpreter", "RuntimeFault"]

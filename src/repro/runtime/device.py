@@ -1,0 +1,196 @@
+"""Simulated accelerator device and data environment.
+
+Models the host/device split that OpenACC data clauses and OpenMP
+``map`` clauses manage.  Mapped aggregates get a *device copy* of their
+heap block; while a compute region executes, accesses to a mapped
+variable are redirected to the device copy, and exit semantics
+(``copyout``/``from``) write the device data back.
+
+The fidelity that matters for the paper's experiments: a test whose
+data movement is correct computes identical serial and device results
+and exits 0; a test with broken movement (e.g. ``create`` where
+``copyin`` is needed) sees stale device data and its self-check fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.values import CArray, HeapBlock, MemoryFault, Pointer
+
+
+class DataMappingError(Exception):
+    """Raised for present-table violations (acc present / use-after-unmap)."""
+
+
+@dataclass
+class _Mapping:
+    host_block: HeapBlock
+    device_block: HeapBlock
+    refcount: int = 1
+    copyout_on_delete: bool = False
+
+
+@dataclass
+class DeviceEnv:
+    """The device's present table plus simple allocation statistics."""
+
+    present: dict[int, _Mapping] = field(default_factory=dict)
+    bytes_allocated: int = 0
+    transfers_to_device: int = 0
+    transfers_from_device: int = 0
+
+    # ------------------------------------------------------------------
+
+    def is_present(self, block: HeapBlock) -> bool:
+        return id(block) in self.present
+
+    def device_block(self, block: HeapBlock) -> HeapBlock | None:
+        mapping = self.present.get(id(block))
+        return mapping.device_block if mapping else None
+
+    # ------------------------------------------------------------------
+
+    def map_block(self, block: HeapBlock, copyin: bool, copyout_on_delete: bool = False) -> HeapBlock:
+        """Enter-data semantics for one block (refcounted, per spec)."""
+        key = id(block)
+        mapping = self.present.get(key)
+        if mapping is not None:
+            mapping.refcount += 1
+            return mapping.device_block
+        device = HeapBlock(size=block.size, label="device", device=True)
+        if copyin:
+            device.cells = block.clone_cells()
+            self.transfers_to_device += 1
+        self.bytes_allocated += block.size
+        self.present[key] = _Mapping(block, device, 1, copyout_on_delete)
+        return device
+
+    def unmap_block(self, block: HeapBlock, copyout: bool, finalize: bool = False) -> None:
+        """Exit-data semantics for one block.
+
+        Per OpenACC 2.7 §2.6.6 (and OpenMP map semantics) data is copied
+        back to the host only when the structured reference count reaches
+        zero — an inner region's copyout inside an enclosing data region
+        does not transfer.
+        """
+        key = id(block)
+        mapping = self.present.get(key)
+        if mapping is None:
+            # exit data on absent data is a no-op per OpenACC 2.7
+            return
+        mapping.refcount = 0 if finalize else mapping.refcount - 1
+        if mapping.refcount <= 0:
+            if copyout:
+                mapping.host_block.cells = mapping.device_block.clone_cells()
+                self.transfers_from_device += 1
+            self.bytes_allocated -= mapping.host_block.size
+            del self.present[key]
+
+    def require_present(self, block: HeapBlock, name: str) -> HeapBlock:
+        mapping = self.present.get(id(block))
+        if mapping is None:
+            raise DataMappingError(
+                f"present clause failed: '{name}' is not present on the device"
+            )
+        return mapping.device_block
+
+    def update_device(self, block: HeapBlock) -> None:
+        mapping = self.present.get(id(block))
+        if mapping is not None:
+            mapping.device_block.cells = block.clone_cells()
+            self.transfers_to_device += 1
+
+    def update_host(self, block: HeapBlock) -> None:
+        mapping = self.present.get(id(block))
+        if mapping is not None:
+            block.cells = mapping.device_block.clone_cells()
+            self.transfers_from_device += 1
+
+
+#: (enter-copies?, exit-copies?, require-present?) per OpenACC data clause.
+ACC_CLAUSE_SEMANTICS = {
+    "copy": (True, True, False),
+    "copyin": (True, False, False),
+    "copyout": (False, True, False),
+    "create": (False, False, False),
+    "no_create": (False, False, False),
+    "present": (False, False, True),
+    "deviceptr": (False, False, False),
+    "attach": (False, False, False),
+    "delete": (False, False, False),
+    "detach": (False, False, False),
+}
+
+#: map-type -> (enter-copies?, exit-copies?) per OpenMP map clause.
+OMP_MAP_SEMANTICS = {
+    "to": (True, False),
+    "from": (False, True),
+    "tofrom": (True, True),
+    "alloc": (False, False),
+    "release": (False, False),
+    "delete": (False, False),
+}
+
+
+def block_of(value) -> HeapBlock | None:
+    """Extract the heap block behind an aggregate runtime value."""
+    if isinstance(value, CArray):
+        return value.block
+    if isinstance(value, Pointer):
+        return value.block
+    return None
+
+
+@dataclass
+class RegionMapping:
+    """Book-keeping for one structured data/compute region."""
+
+    entered: list[tuple[HeapBlock, bool]] = field(default_factory=list)  # (block, copyout)
+    redirected: list[tuple[str, object]] = field(default_factory=list)
+
+    def record(self, block: HeapBlock, copyout: bool) -> None:
+        self.entered.append((block, copyout))
+
+
+class StructuredRegion:
+    """Context manager applying data-clause semantics around a region.
+
+    The interpreter supplies ``(name, value, enter_copy, exit_copy,
+    require_present)`` tuples; on entry blocks are mapped, on exit they
+    are unmapped with copy-back as required.
+    """
+
+    def __init__(self, device: DeviceEnv):
+        self.device = device
+        self._mapping = RegionMapping()
+
+    def map_variable(self, name: str, value, enter_copy: bool, exit_copy: bool, require_present: bool) -> None:
+        block = block_of(value)
+        if block is None:
+            return  # scalars: firstprivate semantics, nothing to map
+        if require_present:
+            self.device.require_present(block, name)
+            return
+        self.device.map_block(block, copyin=enter_copy)
+        self._mapping.record(block, exit_copy)
+
+    def __enter__(self) -> "StructuredRegion":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for block, copyout in reversed(self._mapping.entered):
+            # On an abnormal exit data is still released, but copy-back
+            # only happens on normal exit (matches nvc behaviour).
+            self.device.unmap_block(block, copyout=copyout and exc_type is None)
+
+
+__all__ = [
+    "ACC_CLAUSE_SEMANTICS",
+    "OMP_MAP_SEMANTICS",
+    "DataMappingError",
+    "DeviceEnv",
+    "StructuredRegion",
+    "block_of",
+    "MemoryFault",
+]

@@ -1,0 +1,100 @@
+"""The execution stage: run a compiled unit, capture observables.
+
+:class:`Executor` is the runtime analog of the driver — it takes a
+:class:`~repro.compiler.driver.CompileResult` and produces an
+:class:`ExecutionResult` carrying the (return code, stdout, stderr)
+triple the validation pipeline and the agent-based judge consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.driver import CompileResult
+from repro.runtime.builtins import ExitProgram
+from repro.runtime.device import DataMappingError
+from repro.runtime.interpreter import Interpreter, RuntimeFault
+from repro.runtime.values import MemoryFault
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of one program run."""
+
+    returncode: int
+    stdout: str
+    stderr: str
+    steps: int = 0
+    timed_out: bool = False
+    fault: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0
+
+
+class Executor:
+    """Runs compiled translation units with a bounded step budget."""
+
+    def __init__(self, step_limit: int = 2_000_000):
+        self.step_limit = step_limit
+
+    def run(self, compiled: CompileResult) -> ExecutionResult:
+        """Execute the program; never raises on program misbehaviour."""
+        if not compiled.ok or compiled.unit is None:
+            return ExecutionResult(
+                returncode=126,
+                stdout="",
+                stderr="cannot execute: compilation failed\n",
+                fault="not-compiled",
+            )
+        interp = Interpreter(compiled.unit, step_limit=self.step_limit)
+        try:
+            rc = interp.run()
+        except RuntimeFault as fault:
+            return ExecutionResult(
+                returncode=fault.returncode,
+                stdout="".join(interp.stdout),
+                stderr="".join(interp.stderr) + fault.stderr,
+                steps=interp.steps,
+                timed_out=fault.returncode == 124,
+                fault=str(fault),
+            )
+        except DataMappingError as fault:
+            return ExecutionResult(
+                returncode=1,
+                stdout="".join(interp.stdout),
+                stderr="".join(interp.stderr)
+                + f"FATAL ERROR: {fault}\n",
+                steps=interp.steps,
+                fault=str(fault),
+            )
+        except MemoryFault as fault:
+            return ExecutionResult(
+                returncode=139,
+                stdout="".join(interp.stdout),
+                stderr="".join(interp.stderr) + "Segmentation fault (core dumped)\n",
+                steps=interp.steps,
+                fault=str(fault),
+            )
+        except ExitProgram as exc:
+            return ExecutionResult(
+                returncode=exc.code & 0xFF,
+                stdout="".join(interp.stdout),
+                stderr="".join(interp.stderr),
+                steps=interp.steps,
+            )
+        except RecursionError:
+            return ExecutionResult(
+                returncode=139,
+                stdout="".join(interp.stdout),
+                stderr="Segmentation fault (core dumped)\n",
+                steps=interp.steps,
+                fault="host recursion limit",
+            )
+        return ExecutionResult(
+            returncode=rc,
+            stdout="".join(interp.stdout),
+            stderr="".join(interp.stderr),
+            steps=interp.steps,
+        )

@@ -1,0 +1,170 @@
+"""Shared fixtures: compilers, executors, small cached corpora."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.suite import TestSuite
+from repro.llm.model import DeepSeekCoderSim
+from repro.probing.prober import NegativeProber
+from repro.runtime.executor import Executor
+
+
+@pytest.fixture(scope="session")
+def acc_compiler() -> Compiler:
+    return Compiler(model="acc")
+
+
+@pytest.fixture(scope="session")
+def omp_compiler() -> Compiler:
+    return Compiler(model="omp", openmp_max_version=4.5)
+
+
+@pytest.fixture()
+def executor() -> Executor:
+    return Executor(step_limit=2_000_000)
+
+
+@pytest.fixture(scope="session")
+def acc_corpus() -> list:
+    """A small validated OpenACC corpus (C + C++), session-cached."""
+    return CorpusGenerator(seed=11).generate("acc", 36, languages=("c", "cpp"))
+
+
+@pytest.fixture(scope="session")
+def omp_corpus() -> list:
+    return CorpusGenerator(seed=11).generate("omp", 36, languages=("c", "cpp"))
+
+
+@pytest.fixture(scope="session")
+def fortran_corpus() -> list:
+    return CorpusGenerator(seed=13).generate("acc", 6, languages=("f90",))
+
+
+@pytest.fixture(scope="session")
+def acc_probed(acc_corpus):
+    suite = TestSuite("acc-fixture", "acc", list(acc_corpus))
+    return NegativeProber(seed=21).probe(suite)
+
+
+@pytest.fixture(scope="session")
+def omp_probed(omp_corpus):
+    suite = TestSuite("omp-fixture", "omp", list(omp_corpus))
+    return NegativeProber(seed=22).probe(suite)
+
+
+@pytest.fixture()
+def model() -> DeepSeekCoderSim:
+    return DeepSeekCoderSim(seed=4242)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(77)
+
+
+VALID_ACC_SOURCE = r"""
+#include <stdio.h>
+#include <stdlib.h>
+#include <openacc.h>
+#define N 64
+
+int main() {
+    double a[N];
+    double expected[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (double)i;
+        expected[i] = a[i] * 3.0 + 1.0;
+    }
+#pragma acc parallel loop copy(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = a[i] * 3.0 + 1.0;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != expected[i]) {
+            err = err + 1;
+        }
+    }
+    if (err != 0) {
+        printf("FAILED with %d errors\n", err);
+        return 1;
+    }
+    printf("PASSED\n");
+    return 0;
+}
+"""
+
+VALID_OMP_SOURCE = r"""
+#include <stdio.h>
+#include <omp.h>
+#define N 64
+
+int main() {
+    int a[N];
+    int sum = 0;
+    int expected = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i % 5;
+        expected += a[i];
+    }
+#pragma omp target teams distribute parallel for map(to: a[0:N]) reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+    if (sum != expected) {
+        printf("FAILED: %d != %d\n", sum, expected);
+        return 1;
+    }
+    printf("PASSED\n");
+    return 0;
+}
+"""
+
+VALID_F90_SOURCE = """
+program demo
+  implicit none
+  integer :: i, n
+  real(8) :: a(32), expected(32)
+  integer :: err
+  n = 32
+  err = 0
+  do i = 1, n
+    a(i) = i * 1.0
+    expected(i) = a(i) * 2.0
+  end do
+  !$acc parallel loop copy(a)
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+  do i = 1, n
+    if (abs(a(i) - expected(i)) > 1.0e-9) then
+      err = err + 1
+    end if
+  end do
+  if (err > 0) then
+    print *, "FAILED"
+    stop 1
+  end if
+  print *, "PASSED"
+end program demo
+"""
+
+
+@pytest.fixture()
+def valid_acc_source() -> str:
+    return VALID_ACC_SOURCE
+
+
+@pytest.fixture()
+def valid_omp_source() -> str:
+    return VALID_OMP_SOURCE
+
+
+@pytest.fixture()
+def valid_f90_source() -> str:
+    return VALID_F90_SOURCE

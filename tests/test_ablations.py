@@ -1,0 +1,65 @@
+"""Tests for the ablation-study runners."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    early_exit_ablation,
+    flake_rate_sweep,
+    seed_variance,
+)
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    from repro.corpus.generator import CorpusGenerator
+    from repro.corpus.suite import TestSuite
+    from repro.probing.prober import NegativeProber
+
+    files = CorpusGenerator(seed=31).generate("acc", 24, languages=("c",))
+    return list(NegativeProber(seed=32).probe(TestSuite("abl", "acc", files)))
+
+
+class TestEarlyExit:
+    def test_saves_judge_calls_without_accuracy_loss(self, population):
+        result = early_exit_ablation(population)
+        assert result.judge_calls_saved > 0
+        assert result.accuracy_early_exit == pytest.approx(
+            result.accuracy_record_all, abs=0.001
+        )
+
+    def test_speedup_at_least_one(self, population):
+        result = early_exit_ablation(population)
+        assert result.speedup >= 1.0
+        assert result.simulated_seconds_early_exit < result.simulated_seconds_record_all
+
+
+class TestFlakeSweep:
+    def test_gap_grows_with_flake_rate(self, population):
+        points = flake_rate_sweep(population, rates=(0.0, 0.3))
+        assert len(points) == 2
+        assert points[0].gap <= points[1].gap + 0.05
+        # at zero flake the pipeline and judge see the same world
+        assert points[0].pipeline_valid_accuracy <= points[0].judge_valid_accuracy + 0.05
+
+    def test_pipeline_accuracy_monotone_down(self, population):
+        points = flake_rate_sweep(population, rates=(0.0, 0.5))
+        assert points[1].pipeline_valid_accuracy <= points[0].pipeline_valid_accuracy
+
+    def test_judge_resilient_to_flake(self, population):
+        """The judge discounts toolchain-limitation errors, so its valid
+        accuracy should barely move with the flake rate."""
+        points = flake_rate_sweep(population, rates=(0.0, 0.5))
+        assert abs(points[1].judge_valid_accuracy - points[0].judge_valid_accuracy) < 0.25
+
+
+class TestSeedVariance:
+    def test_replicates_across_seeds(self, population):
+        result = seed_variance(population, seeds=(1, 2, 3))
+        assert len(result.accuracies) == 3
+        assert 0.0 <= result.accuracy_mean <= 1.0
+        assert result.accuracy_std < 0.25
+
+    def test_reports_kept(self, population):
+        result = seed_variance(population, seeds=(1, 2))
+        assert len(result.reports) == 2
+        assert result.reports[0].label == "seed=1"

@@ -1,0 +1,212 @@
+"""Unit tests for libc / OpenACC / OpenMP runtime builtins."""
+
+from repro.compiler.driver import Compiler
+from repro.runtime.builtins import LCG, format_printf
+from repro.runtime.executor import Executor
+
+
+def run(source: str, model: str = "acc"):
+    compiled = Compiler(model=model).compile(source, "t.c")
+    assert compiled.ok, compiled.stderr
+    return Executor().run(compiled)
+
+
+class TestPrintfFormatting:
+    def test_basic_int(self):
+        assert format_printf("%d", [42]) == "42"
+
+    def test_width_and_precision(self):
+        assert format_printf("%8.3f", [3.14159]) == "   3.142"
+
+    def test_multiple_args(self):
+        assert format_printf("%d-%d", [1, 2]) == "1-2"
+
+    def test_percent_escape(self):
+        assert format_printf("50%%", []) == "50%"
+
+    def test_length_modifiers_stripped(self):
+        assert format_printf("%ld %zu %lf", [10, 20, 1.5]) == "10 20 1.500000"
+
+    def test_string_conversion(self):
+        assert format_printf("[%s]", ["hi"]) == "[hi]"
+
+    def test_char_conversion(self):
+        assert format_printf("%c", [65]) == "A"
+
+    def test_hex(self):
+        assert format_printf("%x", [255]) == "ff"
+
+    def test_missing_args_default_zero(self):
+        assert format_printf("%d", []) == "0"
+
+    def test_e_and_g(self):
+        assert "e" in format_printf("%e", [12345.678])
+        assert format_printf("%g", [0.5]) == "0.5"
+
+
+class TestLCG:
+    def test_deterministic(self):
+        a, b = LCG(), LCG()
+        a.srand(7)
+        b.srand(7)
+        assert [a.rand() for _ in range(5)] == [b.rand() for _ in range(5)]
+
+    def test_range_non_negative(self):
+        rng = LCG()
+        rng.srand(123)
+        for _ in range(100):
+            assert 0 <= rng.rand() <= 0x7FFFFFFF
+
+
+HEADER_ACC = "#include <stdio.h>\n#include <stdlib.h>\n#include <openacc.h>\n"
+HEADER_OMP = "#include <stdio.h>\n#include <stdlib.h>\n#include <omp.h>\n"
+
+
+class TestAccRuntime:
+    def test_device_queries(self):
+        src = HEADER_ACC + """
+int main() {
+    if (acc_get_num_devices(acc_device_default) < 1) return 1;
+    acc_init(acc_device_default);
+    if (acc_get_device_num(acc_device_default) < 0) return 2;
+    acc_shutdown(acc_device_default);
+    return 0;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_acc_copyin_is_present(self):
+        src = HEADER_ACC + """
+int main() {
+    double a[4];
+    acc_copyin(a, 4 * sizeof(double));
+    if (!acc_is_present(a, 4 * sizeof(double))) return 1;
+    acc_delete(a, 4 * sizeof(double));
+    if (acc_is_present(a, 4 * sizeof(double))) return 2;
+    return 0;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_acc_on_device_outside_region(self):
+        src = HEADER_ACC + "int main() { return acc_on_device(acc_device_default); }"
+        assert run(src).returncode == 0
+
+    def test_async_api_noops(self):
+        src = HEADER_ACC + """
+int main() {
+    acc_wait_all();
+    if (!acc_async_test(0)) return 1;
+    return 0;
+}
+"""
+        assert run(src).returncode == 0
+
+
+class TestOmpRuntime:
+    def test_thread_queries_serial(self):
+        src = HEADER_OMP + """
+int main() {
+    if (omp_get_num_threads() != 1) return 1;  /* outside parallel */
+    if (omp_get_thread_num() != 0) return 2;
+    if (omp_get_max_threads() < 1) return 3;
+    if (omp_in_parallel()) return 4;
+    return 0;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_num_threads_inside_parallel(self):
+        src = HEADER_OMP + """
+int main() {
+    int seen = 0;
+#pragma omp parallel
+    {
+        seen = omp_get_num_threads();
+    }
+    return seen >= 1 ? 0 : 1;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_set_num_threads(self):
+        src = HEADER_OMP + """
+int main() {
+    omp_set_num_threads(6);
+    return omp_get_max_threads() - 6;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_device_queries(self):
+        src = HEADER_OMP + """
+int main() {
+    if (omp_get_num_devices() < 0) return 1;
+    if (!omp_is_initial_device()) return 2;
+    return omp_get_default_device();
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_wtime_monotone(self):
+        src = HEADER_OMP + """
+int main() {
+    double t0 = omp_get_wtime();
+    for (int i = 0; i < 100; i++) { }
+    double t1 = omp_get_wtime();
+    return t1 >= t0 ? 0 : 1;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_locks_are_noops(self):
+        src = HEADER_OMP + """
+int main() {
+    int lock = 0;
+    omp_init_lock(&lock);
+    omp_set_lock(&lock);
+    omp_unset_lock(&lock);
+    omp_destroy_lock(&lock);
+    return 0;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+
+class TestStringBuiltins:
+    def test_strlen_strcmp(self):
+        src = HEADER_ACC + """
+int main() {
+    if (strlen("hello") != 5) return 1;
+    if (strcmp("a", "a") != 0) return 2;
+    if (strcmp("a", "b") >= 0) return 3;
+    return 0;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_memset_memcpy(self):
+        src = HEADER_ACC + """
+#include <string.h>
+int main() {
+    double a[4];
+    double b[4];
+    for (int i = 0; i < 4; i++) { a[i] = 7.0; }
+    memset(b, 0, 4 * sizeof(double));
+    if (b[2] != 0.0) return 1;
+    memcpy(b, a, 4 * sizeof(double));
+    if (b[2] != 7.0) return 2;
+    return 0;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_atoi_atof(self):
+        src = HEADER_ACC + """
+int main() {
+    if (atoi("42") != 42) return 1;
+    if (atof("2.5") != 2.5) return 2;
+    return 0;
+}
+"""
+        assert run(src).returncode == 0

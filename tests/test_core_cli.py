@@ -1,0 +1,93 @@
+"""Tests for the public validator API and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import TestsuiteValidator
+
+
+class TestValidatorAPI:
+    def test_validate_sources_good_and_bad(self, valid_acc_source):
+        validator = TestsuiteValidator(flavor="acc")
+        broken = valid_acc_source.replace("{", "", 1)
+        report = validator.validate_sources(
+            {"good.c": valid_acc_source, "bad.c": broken}
+        )
+        assert report.verdict_for("good.c").is_valid
+        bad = report.verdict_for("bad.c")
+        assert not bad.is_valid
+        assert bad.stage == "compile"
+
+    def test_runtime_failure_reported_at_execute_stage(self):
+        source = (
+            "#include <stdio.h>\n#include <stdlib.h>\n#include <openacc.h>\n"
+            "int main() { double *p; p[0] = 1.0; return 0; }"
+        )
+        report = TestsuiteValidator(flavor="acc").validate_sources({"segv.c": source})
+        judged = report.files[0]
+        assert judged.stage == "execute"
+        assert not judged.is_valid
+
+    def test_summary_counts(self, valid_acc_source):
+        validator = TestsuiteValidator(flavor="acc")
+        report = validator.validate_sources({"a.c": valid_acc_source})
+        summary = report.summary()
+        assert summary["total"] == 1
+        assert summary["valid"] == 1
+
+    def test_judge_response_attached(self, valid_acc_source):
+        report = TestsuiteValidator(flavor="acc").validate_sources(
+            {"a.c": valid_acc_source}
+        )
+        judged = report.files[0]
+        assert judged.stage == "judge"
+        assert judged.judge_response
+
+    def test_language_detected_from_extension(self, valid_f90_source):
+        report = TestsuiteValidator(flavor="acc").validate_sources(
+            {"vec.f90": valid_f90_source}
+        )
+        assert report.files[0].is_valid
+
+    def test_omp_flavor(self, valid_omp_source):
+        report = TestsuiteValidator(flavor="omp").validate_sources(
+            {"t.c": valid_omp_source}
+        )
+        assert report.files[0].is_valid
+
+
+class TestCLI:
+    def test_validate_command(self, tmp_path, valid_acc_source, capsys):
+        path = tmp_path / "good.c"
+        path.write_text(valid_acc_source)
+        rc = cli_main(["validate", str(path), "--flavor", "acc"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_validate_detects_invalid(self, tmp_path, valid_acc_source, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text(valid_acc_source.replace("{", "", 1))
+        rc = cli_main(["validate", str(path)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_generate_and_probe_roundtrip(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        rc = cli_main(
+            ["generate", "--flavor", "omp", "--count", "6", "--out", str(corpus_dir)]
+        )
+        assert rc == 0
+        assert (corpus_dir / "manifest.json").exists()
+        probed_dir = tmp_path / "probed"
+        rc = cli_main(["probe", str(corpus_dir), "--out", str(probed_dir)])
+        assert rc == 0
+        assert (probed_dir / "manifest.json").exists()
+
+    def test_experiment_unknown_artifact(self, capsys):
+        rc = cli_main(["experiment", "table42", "--scale", "tiny"])
+        assert rc == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli_main([])

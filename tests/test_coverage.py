@@ -1,0 +1,47 @@
+"""Tests for the feature-coverage analysis extension."""
+
+from repro.corpus.coverage import measure_coverage, uncovered_features
+from repro.corpus.features import catalog
+
+
+class TestCoverage:
+    def test_corpus_covers_most_features(self, acc_corpus):
+        report = measure_coverage("acc", list(acc_corpus))
+        assert report.tests_total == len(acc_corpus)
+        assert report.coverage_fraction > 0.5
+
+    def test_counts_accumulate(self, acc_corpus):
+        report = measure_coverage("acc", list(acc_corpus))
+        assert sum(report.feature_counts.values()) >= len(report.covered)
+
+    def test_by_category_totals_match_catalog(self, acc_corpus):
+        report = measure_coverage("acc", list(acc_corpus))
+        by_cat = report.by_category()
+        total = sum(t for _, t in by_cat.values())
+        assert total == len(catalog("acc"))
+        for covered, cat_total in by_cat.values():
+            assert 0 <= covered <= cat_total
+
+    def test_uncovered_plus_covered_is_catalog(self, omp_corpus):
+        report = measure_coverage("omp", list(omp_corpus))
+        assert report.covered | report.uncovered == set(catalog("omp"))
+        assert not report.covered & report.uncovered
+
+    def test_uncovered_features_listed(self, omp_corpus):
+        gaps = uncovered_features("omp", list(omp_corpus))
+        assert all(f.model == "omp" for f in gaps)
+
+    def test_render_mentions_categories(self, acc_corpus):
+        text = measure_coverage("acc", list(acc_corpus)).render()
+        assert "Feature coverage" in text
+        assert "data" in text
+
+    def test_wrong_model_tests_ignored(self, acc_corpus, omp_corpus):
+        mixed = list(acc_corpus) + list(omp_corpus)
+        report = measure_coverage("acc", mixed)
+        assert all(ident.startswith("acc.") for ident in report.covered)
+
+    def test_empty_suite(self):
+        report = measure_coverage("acc", [])
+        assert report.coverage_fraction == 0.0
+        assert report.tests_total == 0

@@ -1,0 +1,266 @@
+"""Unit tests for the device data environment and offload semantics."""
+
+from repro.compiler.driver import Compiler
+from repro.runtime.device import DeviceEnv, DataMappingError
+from repro.runtime.executor import Executor
+from repro.runtime.values import HeapBlock
+
+import pytest
+
+
+def run(source: str, model: str = "acc"):
+    compiled = Compiler(model=model).compile(source, "t.c")
+    assert compiled.ok, compiled.stderr
+    return Executor().run(compiled)
+
+
+HEADER = "#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n"
+
+
+class TestDeviceEnvUnit:
+    def test_map_and_presence(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=64)
+        device = env.map_block(block, copyin=True)
+        assert env.is_present(block)
+        assert device.size == 64
+        assert device.device
+
+    def test_copyin_copies_cells(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        block.store(0, 8, 1.5)
+        device = env.map_block(block, copyin=True)
+        assert device.load(0, 8) == 1.5
+
+    def test_create_does_not_copy(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        block.store(0, 8, 1.5)
+        device = env.map_block(block, copyin=False)
+        assert device.load(0, 8) == 0
+
+    def test_refcounting(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        env.map_block(block, copyin=True)
+        env.map_block(block, copyin=True)
+        env.unmap_block(block, copyout=False)
+        assert env.is_present(block)
+        env.unmap_block(block, copyout=False)
+        assert not env.is_present(block)
+
+    def test_copyout_only_at_refcount_zero(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        device = env.map_block(block, copyin=True)
+        env.map_block(block, copyin=True)
+        device.store(0, 8, 9.0)
+        env.unmap_block(block, copyout=True)  # refcount 2 -> 1: no transfer
+        assert block.load(0, 8) == 0
+        env.unmap_block(block, copyout=True)  # refcount 1 -> 0: transfer
+        assert block.load(0, 8) == 9.0
+
+    def test_finalize_forces_unmap(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        env.map_block(block, copyin=True)
+        env.map_block(block, copyin=True)
+        env.unmap_block(block, copyout=False, finalize=True)
+        assert not env.is_present(block)
+
+    def test_require_present_raises_when_absent(self):
+        env = DeviceEnv()
+        with pytest.raises(DataMappingError):
+            env.require_present(HeapBlock(size=8), "a")
+
+    def test_update_host_and_device(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        device = env.map_block(block, copyin=False)
+        block.store(0, 8, 4.0)
+        env.update_device(block)
+        assert device.load(0, 8) == 4.0
+        device.store(8, 8, 5.0)
+        env.update_host(block)
+        assert block.load(8, 8) == 5.0
+
+    def test_unmap_absent_is_noop(self):
+        env = DeviceEnv()
+        env.unmap_block(HeapBlock(size=8), copyout=True)  # must not raise
+
+    def test_transfer_statistics(self):
+        env = DeviceEnv()
+        block = HeapBlock(size=16)
+        env.map_block(block, copyin=True)
+        env.unmap_block(block, copyout=True)
+        assert env.transfers_to_device == 1
+        assert env.transfers_from_device == 1
+
+
+class TestOffloadSemantics:
+    def test_copyout_visible_after_region(self):
+        src = HEADER + """
+int main() {
+    double a[8];
+    double b[8];
+    for (int i = 0; i < 8; i++) { a[i] = i; b[i] = 0.0; }
+#pragma acc parallel loop copyin(a[0:8]) copyout(b[0:8])
+    for (int i = 0; i < 8; i++) { b[i] = a[i] * 2.0; }
+    return (int)b[3] - 6;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_create_instead_of_copyin_breaks_selfcheck(self):
+        src = HEADER + """
+int main() {
+    double a[8];
+    double b[8];
+    int err = 0;
+    for (int i = 0; i < 8; i++) { a[i] = i + 1.0; b[i] = 0.0; }
+#pragma acc parallel loop create(a[0:8]) copyout(b[0:8])
+    for (int i = 0; i < 8; i++) { b[i] = a[i] * 2.0; }
+    for (int i = 0; i < 8; i++) { if (b[i] != (a[i] * 2.0)) err++; }
+    return err == 0 ? 0 : 1;
+}
+"""
+        assert run(src).returncode == 1
+
+    def test_present_without_mapping_fails_at_runtime(self):
+        src = HEADER + """
+int main() {
+    double a[8];
+    for (int i = 0; i < 8; i++) { a[i] = i; }
+#pragma acc parallel loop present(a[0:8])
+    for (int i = 0; i < 8; i++) { a[i] = a[i] + 1.0; }
+    return 0;
+}
+"""
+        result = run(src)
+        assert result.returncode == 1
+        assert "present" in result.stderr.lower()
+
+    def test_data_region_host_code_writes_host_memory(self):
+        src = HEADER + """
+int main() {
+    double a[4];
+    double b[4];
+    for (int i = 0; i < 4; i++) { a[i] = 1.0; b[i] = 0.0; }
+#pragma acc data copyin(a[0:4]) copyout(b[0:4])
+    {
+        a[0] = 50.0;  /* host write inside data region */
+#pragma acc parallel loop present(a[0:4], b[0:4])
+        for (int i = 0; i < 4; i++) { b[i] = a[i]; }
+    }
+    /* device copy was taken before the host write: b[0] must be 1.0 */
+    if (b[0] != 1.0) { return 1; }
+    if (a[0] != 50.0) { return 2; }
+    return 0;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_update_device_propagates_host_write(self):
+        src = HEADER + """
+int main() {
+    double a[4];
+    double b[4];
+    for (int i = 0; i < 4; i++) { a[i] = 1.0; b[i] = 0.0; }
+#pragma acc data copyin(a[0:4]) copyout(b[0:4])
+    {
+        a[0] = 50.0;
+#pragma acc update device(a[0:4])
+#pragma acc parallel loop present(a[0:4], b[0:4])
+        for (int i = 0; i < 4; i++) { b[i] = a[i]; }
+    }
+    return b[0] == 50.0 ? 0 : 1;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_enter_exit_data(self):
+        src = HEADER + """
+int main() {
+    double a[4];
+    for (int i = 0; i < 4; i++) { a[i] = 2.0; }
+#pragma acc enter data copyin(a[0:4])
+#pragma acc parallel loop present(a[0:4])
+    for (int i = 0; i < 4; i++) { a[i] = a[i] * 3.0; }
+#pragma acc exit data copyout(a[0:4])
+    return (int)a[0] - 6;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_scalars_firstprivate_in_compute_region(self):
+        src = HEADER + """
+int main() {
+    double a[4];
+    double leak = 0.0;
+    for (int i = 0; i < 4; i++) { a[i] = 1.0; }
+#pragma acc parallel loop copy(a[0:4])
+    for (int i = 0; i < 4; i++) {
+        leak = 99.0;  /* firstprivate: must not escape */
+        a[i] = a[i] + 1.0;
+    }
+    return leak == 0.0 ? 0 : 1;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_reduction_scalar_escapes(self):
+        src = HEADER + """
+int main() {
+    int a[8];
+    int sum = 0;
+    for (int i = 0; i < 8; i++) { a[i] = 1; }
+#pragma acc parallel loop copyin(a[0:8]) reduction(+:sum)
+    for (int i = 0; i < 8; i++) { sum += a[i]; }
+    return sum - 8;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_omp_target_map_tofrom(self):
+        src = HEADER.replace("<math.h>\n", "<math.h>\n#include <omp.h>\n") + """
+int main() {
+    int a[4];
+    for (int i = 0; i < 4; i++) { a[i] = i; }
+#pragma omp target map(tofrom: a[0:4])
+    {
+        for (int i = 0; i < 4; i++) { a[i] = a[i] + 10; }
+    }
+    return a[3] - 13;
+}
+"""
+        assert run(src, model="omp").returncode == 0
+
+    def test_omp_target_update(self):
+        src = HEADER.replace("<math.h>\n", "<math.h>\n#include <omp.h>\n") + """
+int main() {
+    int a[4];
+    int b[4];
+    for (int i = 0; i < 4; i++) { a[i] = 1; b[i] = 0; }
+#pragma omp target data map(to: a[0:4]) map(from: b[0:4])
+    {
+        a[0] = 7;
+#pragma omp target update to(a[0:4])
+#pragma omp target teams distribute parallel for
+        for (int i = 0; i < 4; i++) { b[i] = a[i]; }
+    }
+    return b[0] - 7;
+}
+"""
+        assert run(src, model="omp").returncode == 0
+
+    def test_mapping_uninitialized_pointer_segfaults(self):
+        src = HEADER + """
+int main() {
+    double *a;
+#pragma acc parallel loop copyin(a[0:8])
+    for (int i = 0; i < 8; i++) { }
+    return 0;
+}
+"""
+        assert run(src).returncode == 139

@@ -1,0 +1,162 @@
+"""Unit tests for diagnostics and AST helpers."""
+
+import pytest
+
+from repro.compiler import astnodes as ast
+from repro.compiler.diagnostics import (
+    Diagnostic,
+    DiagnosticEngine,
+    Severity,
+    SourceLocation,
+    TooManyErrors,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR < Severity.FATAL
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.WARNING.label == "warning"
+
+
+class TestDiagnostic:
+    def test_render_with_location(self):
+        diag = Diagnostic(
+            Severity.ERROR, "bad thing", SourceLocation("f.c", 3, 7), "syntax"
+        )
+        assert diag.render() == "f.c:3:7: error: bad thing [-Wsyntax]"
+
+    def test_render_without_location(self):
+        diag = Diagnostic(Severity.WARNING, "meh", None, "w")
+        assert diag.render().startswith("warning: meh")
+
+
+class TestEngine:
+    def test_counts(self):
+        engine = DiagnosticEngine()
+        engine.warn("w1")
+        engine.error("e1")
+        engine.error("e2")
+        assert engine.warning_count == 1
+        assert engine.error_count == 2
+        assert engine.has_errors
+
+    def test_error_limit_raises(self):
+        engine = DiagnosticEngine(error_limit=3)
+        with pytest.raises(TooManyErrors):
+            for i in range(10):
+                engine.error(f"e{i}")
+
+    def test_codes_first_seen_order(self):
+        engine = DiagnosticEngine()
+        engine.error("a", code="one")
+        engine.error("b", code="two")
+        engine.error("c", code="one")
+        assert engine.codes() == ["one", "two"]
+
+    def test_render_stderr_summary(self):
+        engine = DiagnosticEngine()
+        engine.error("x")
+        assert "1 error generated." in engine.render_stderr()
+        engine.clear()
+        engine.error("x")
+        engine.error("y")
+        assert "2 errors generated." in engine.render_stderr()
+
+    def test_warning_only_summary(self):
+        engine = DiagnosticEngine()
+        engine.warn("w")
+        assert "1 warning generated." in engine.render_stderr()
+
+
+LOC = SourceLocation("t.c", 1, 1)
+
+
+def _sample_function() -> ast.FunctionDef:
+    # int f() { if (x) { y = 1; } for (i = 0; i < 3; i++) z += i; return q; }
+    body = ast.Compound(
+        LOC,
+        [
+            ast.If(
+                LOC,
+                ast.Identifier(LOC, "x"),
+                ast.Compound(
+                    LOC,
+                    [ast.ExprStmt(LOC, ast.Assignment(LOC, "=", ast.Identifier(LOC, "y"), ast.IntLiteral(LOC, 1)))],
+                ),
+                None,
+            ),
+            ast.For(
+                LOC,
+                ast.ExprStmt(LOC, ast.Assignment(LOC, "=", ast.Identifier(LOC, "i"), ast.IntLiteral(LOC, 0))),
+                ast.BinaryOp(LOC, "<", ast.Identifier(LOC, "i"), ast.IntLiteral(LOC, 3)),
+                ast.UnaryOp(LOC, "++", ast.Identifier(LOC, "i"), prefix=False),
+                ast.ExprStmt(LOC, ast.Assignment(LOC, "+=", ast.Identifier(LOC, "z"), ast.Identifier(LOC, "i"))),
+            ),
+            ast.Return(LOC, ast.Identifier(LOC, "q")),
+        ],
+    )
+    return ast.FunctionDef("f", ast.INT, [], body, LOC)
+
+
+class TestWalkers:
+    def test_walk_statements_preorder(self):
+        fn = _sample_function()
+        kinds = [type(s).__name__ for s in ast.walk_statements(fn.body)]
+        assert kinds[0] == "Compound"
+        assert "If" in kinds and "For" in kinds and "Return" in kinds
+
+    def test_walk_expressions_finds_identifiers(self):
+        fn = _sample_function()
+        names = {
+            e.name
+            for e in ast.walk_expressions(fn.body)
+            if isinstance(e, ast.Identifier)
+        }
+        assert {"x", "y", "i", "z", "q"} <= names
+
+    def test_walk_covers_directive_construct(self):
+        directive = ast.DirectiveStmt(
+            LOC,
+            None,
+            ast.ExprStmt(LOC, ast.Identifier(LOC, "hidden")),
+        )
+        names = {
+            e.name
+            for e in ast.walk_expressions(directive)
+            if isinstance(e, ast.Identifier)
+        }
+        assert "hidden" in names
+
+
+class TestCType:
+    def test_pointer_navigation(self):
+        t = ast.CType("double", 2)
+        assert t.pointee().pointers == 1
+        assert t.pointer_to().pointers == 3
+
+    def test_pointee_of_scalar_raises(self):
+        with pytest.raises(ValueError):
+            ast.CType("int").pointee()
+
+    def test_classification(self):
+        assert ast.CType("double").is_floating
+        assert ast.CType("int").is_integral
+        assert not ast.CType("double", 1).is_floating
+        assert ast.CType("void").is_void
+
+    def test_str(self):
+        assert str(ast.CType("double", 1)) == "double*"
+        assert str(ast.CType("int", 0, const=True)) == "const int"
+
+    def test_translation_unit_function_lookup(self):
+        unit = ast.TranslationUnit("t.c")
+        fn = _sample_function()
+        unit.functions.append(fn)
+        assert unit.function("f") is fn
+        assert unit.function("missing") is None
+        proto = ast.FunctionDef("g", ast.INT, [], None, LOC)
+        unit.functions.append(proto)
+        assert unit.function("g") is None  # prototypes don't count

@@ -1,0 +1,89 @@
+"""Unit tests for the compiler driver and the executor."""
+
+from repro.compiler.driver import Compiler, detect_language
+from repro.runtime.executor import Executor
+
+
+class TestLanguageDetection:
+    def test_c(self):
+        assert detect_language("foo.c") == "c"
+
+    def test_cpp_variants(self):
+        for ext in (".cpp", ".cxx", ".cc"):
+            assert detect_language(f"x{ext}") == "c++"
+
+    def test_fortran_variants(self):
+        for ext in (".f90", ".F90", ".f95", ".f"):
+            assert detect_language(f"x{ext}") == "fortran"
+
+    def test_default_is_c(self):
+        assert detect_language("strange.txt") == "c"
+
+
+class TestDriver:
+    def test_model_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Compiler(model="cuda")
+
+    def test_name_property(self):
+        assert "nvc" in Compiler(model="acc").name
+        assert "clang" in Compiler(model="omp").name
+
+    def test_acc_defines_openacc_macro(self, valid_acc_source):
+        source = "#ifndef _OPENACC\n#error no acc\n#endif\nint main() { return 0; }"
+        assert Compiler(model="acc").compile(source, "t.c").ok
+
+    def test_omp_defines_openmp_macro(self):
+        source = "#ifndef _OPENMP\n#error no omp\n#endif\nint main() { return 0; }"
+        assert Compiler(model="omp").compile(source, "t.c").ok
+        assert not Compiler(model="acc").compile(source, "t.c").ok
+
+    def test_returncode_zero_on_success(self, valid_acc_source, acc_compiler):
+        result = acc_compiler.compile(valid_acc_source, "t.c")
+        assert result.returncode == 0
+        assert result.ok
+        assert result.stderr == ""
+
+    def test_returncode_nonzero_on_error(self, acc_compiler):
+        result = acc_compiler.compile("int main() { x = 1; return 0; }", "t.c")
+        assert result.returncode != 0
+        assert "error" in result.stderr
+
+    def test_error_summary_line(self, acc_compiler):
+        result = acc_compiler.compile("int main() { x = 1; y = 2; return 0; }", "t.c")
+        assert "errors generated." in result.stderr
+
+    def test_compile_never_raises_on_garbage(self, acc_compiler):
+        for garbage in ("", "@@@@", "{{{{{{", "int int int", "\x01\x02", "a" * 10000):
+            result = acc_compiler.compile(garbage, "g.c")
+            assert isinstance(result.returncode, int)
+
+    def test_error_limit_caps_cascades(self, acc_compiler):
+        source = "int main() {\n" + "\n".join(f"q{i} = {i};" for i in range(100)) + "\nreturn 0; }"
+        result = acc_compiler.compile(source, "t.c")
+        assert result.error_count <= 21
+
+
+class TestExecutor:
+    def test_cannot_execute_failed_compile(self, acc_compiler, executor):
+        compiled = acc_compiler.compile("not a program", "t.c")
+        result = executor.run(compiled)
+        assert result.returncode == 126
+        assert result.fault == "not-compiled"
+
+    def test_valid_program_runs(self, acc_compiler, executor, valid_acc_source):
+        compiled = acc_compiler.compile(valid_acc_source, "t.c")
+        result = executor.run(compiled)
+        assert result.ok
+        assert "PASSED" in result.stdout
+        assert result.steps > 0
+
+    def test_step_budget_respected(self, acc_compiler):
+        compiled = acc_compiler.compile(
+            "int main() { while (1) { } return 0; }", "t.c"
+        )
+        result = Executor(step_limit=5_000).run(compiled)
+        assert result.timed_out
+        assert result.returncode == 124

@@ -1,0 +1,181 @@
+"""Unit tests for the Fortran-lite front-end."""
+
+from repro.compiler.driver import Compiler
+from repro.runtime.executor import Executor
+
+
+def compile_f(source: str):
+    return Compiler(model="acc").compile(source, "t.f90")
+
+
+def run_f(source: str):
+    compiled = compile_f(source)
+    assert compiled.ok, compiled.stderr
+    return Executor().run(compiled)
+
+
+class TestFortranBasics:
+    def test_valid_program_compiles_and_passes(self, valid_f90_source):
+        result = run_f(valid_f90_source)
+        assert result.returncode == 0
+        assert "PASSED" in result.stdout
+
+    def test_missing_program_statement(self):
+        result = compile_f("  implicit none\n  print *, 1\nend program\n")
+        assert result.has_code("no-main")
+
+    def test_missing_end_program(self):
+        result = compile_f("program p\n  implicit none\n  print *, 1\n")
+        assert result.has_code("unbalanced-block")
+
+    def test_stop_code_becomes_return_code(self):
+        result = run_f("program p\n  implicit none\n  stop 3\nend program p\n")
+        assert result.returncode == 3
+
+    def test_print_output(self):
+        result = run_f('program p\n  implicit none\n  print *, "hello"\nend program p\n')
+        assert "hello" in result.stdout
+
+
+class TestFortranBlocks:
+    def test_unbalanced_do(self):
+        src = "program p\n  implicit none\n  integer :: i\n  do i = 1, 3\n    print *, i\nend program p\n"
+        result = compile_f(src)
+        assert result.has_code("unbalanced-block")
+
+    def test_end_do_without_do(self):
+        src = "program p\n  implicit none\n  end do\nend program p\n"
+        result = compile_f(src)
+        assert result.has_code("unbalanced-block")
+
+    def test_if_then_else(self):
+        src = """program p
+  implicit none
+  integer :: x
+  x = 2
+  if (x > 1) then
+    print *, "big"
+  else
+    print *, "small"
+  end if
+end program p
+"""
+        result = run_f(src)
+        assert "big" in result.stdout
+
+    def test_single_line_if(self):
+        src = "program p\n  implicit none\n  integer :: x\n  x = 5\n  if (x > 1) stop 2\nend program p\n"
+        result = run_f(src)
+        assert result.returncode == 2
+
+    def test_do_loop_with_step(self):
+        src = """program p
+  implicit none
+  integer :: i, total
+  total = 0
+  do i = 1, 10, 2
+    total = total + i
+  end do
+  if (total /= 25) stop 1
+end program p
+"""
+        result = run_f(src)
+        assert result.returncode == 0
+
+
+class TestFortranSemantics:
+    def test_undeclared_variable(self):
+        src = "program p\n  implicit none\n  q = 1.0\nend program p\n"
+        result = compile_f(src)
+        assert result.has_code("undeclared")
+
+    def test_declaration_after_executable(self):
+        src = "program p\n  implicit none\n  integer :: a\n  a = 1\n  integer :: b\nend program p\n"
+        result = compile_f(src)
+        assert result.has_code("late-declaration")
+
+    def test_arrays_one_based(self):
+        src = """program p
+  implicit none
+  integer :: i
+  real(8) :: v(3)
+  do i = 1, 3
+    v(i) = i * 2.0
+  end do
+  if (abs(v(1) - 2.0) > 1.0e-9) stop 1
+  if (abs(v(3) - 6.0) > 1.0e-9) stop 2
+end program p
+"""
+        result = run_f(src)
+        assert result.returncode == 0
+
+    def test_parameter_declaration(self):
+        src = """program p
+  implicit none
+  integer, parameter :: n = 4
+  integer :: i, total
+  total = 0
+  do i = 1, n
+    total = total + 1
+  end do
+  if (total /= n) stop 1
+end program p
+"""
+        assert run_f(src).returncode == 0
+
+
+class TestFortranDirectives:
+    def test_acc_directive_validated(self):
+        src = """program p
+  implicit none
+  integer :: i
+  real(8) :: a(8)
+  !$acc paralel loop
+  do i = 1, 8
+    a(i) = i
+  end do
+end program p
+"""
+        result = compile_f(src)
+        assert result.has_code("bad-directive")
+
+    def test_directive_requires_loop(self):
+        src = """program p
+  implicit none
+  integer :: i
+  !$acc parallel loop
+  end do
+end program p
+"""
+        result = compile_f(src)
+        assert result.error_count >= 1
+
+    def test_reduction_runs(self):
+        src = """program p
+  implicit none
+  integer :: i
+  real(8) :: a(16)
+  real(8) :: total, expected
+  total = 0.0
+  expected = 0.0
+  do i = 1, 16
+    a(i) = i * 1.0
+    expected = expected + a(i)
+  end do
+  !$acc parallel loop copyin(a) reduction(+:total)
+  do i = 1, 16
+    total = total + a(i)
+  end do
+  if (abs(total - expected) > 1.0e-9) stop 1
+end program p
+"""
+        assert run_f(src).returncode == 0
+
+    def test_corpus_fortran_templates_pass(self, fortran_corpus):
+        executor = Executor()
+        compiler = Compiler(model="acc")
+        for test in fortran_corpus:
+            compiled = compiler.compile(test.source, test.name)
+            assert compiled.ok, f"{test.name}: {compiled.stderr}"
+            result = executor.run(compiled)
+            assert result.returncode == 0, f"{test.name}: {result.stderr}"

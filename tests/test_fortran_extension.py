@@ -1,0 +1,30 @@
+"""The beyond-the-paper Fortran Part-Two extension."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Experiments
+
+
+@pytest.fixture(scope="module")
+def fortran_result():
+    exp = Experiments(ExperimentConfig(scale="tiny", seed=19, model_seed=23))
+    return exp.fortran_extension()
+
+
+class TestFortranExtension:
+    def test_produces_reports(self, fortran_result):
+        assert len(fortran_result.reports) == 4
+        assert "Fortran" in fortran_result.title
+
+    def test_pipeline_catches_compile_detectable_issues(self, fortran_result):
+        pipeline1 = fortran_result.reports[0]
+        row1 = pipeline1.row_for(1)
+        if row1 is not None:
+            assert row1.accuracy == 1.0
+
+    def test_valid_fortran_mostly_passes(self, fortran_result):
+        llmj1 = fortran_result.reports[2]
+        assert llmj1.accuracy_for(5) > 0.6
+
+    def test_no_paper_counterpart(self, fortran_result):
+        assert fortran_result.paper is None

@@ -1,0 +1,134 @@
+"""Tests for the automated generation + validation loop (extension)."""
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.generation.builder import AutomatedSuiteBuilder
+from repro.generation.model import (
+    DEFAULT_DEFECT_RATES,
+    CandidateTest,
+    CodeGenSim,
+    GenerationDefect,
+)
+from repro.runtime.executor import Executor
+
+
+class TestCodeGenSim:
+    def test_deterministic(self):
+        a = CodeGenSim(flavor="acc", seed=1).generate("acc.reduction.add")
+        b = CodeGenSim(flavor="acc", seed=1).generate("acc.reduction.add")
+        assert a.test.source == b.test.source
+        assert a.defect == b.defect
+
+    def test_invalid_flavor(self):
+        with pytest.raises(ValueError):
+            CodeGenSim(flavor="cuda")
+
+    def test_prompt_mentions_feature(self):
+        gen = CodeGenSim(flavor="omp", seed=2)
+        candidate = gen.generate("omp.reduction.add")
+        assert "omp.reduction.add" in candidate.prompt
+        assert "OpenMP" in candidate.prompt
+
+    def test_feature_matching_template_preferred(self):
+        gen = CodeGenSim(flavor="acc", seed=3)
+        hits = 0
+        for _ in range(10):
+            candidate = gen.generate("acc.reduction.add")
+            if "acc.reduction.add" in candidate.test.features:
+                hits += 1
+        assert hits >= 8  # only falls back when the rng picks oddly
+
+    def test_clean_candidates_compile_and_pass(self):
+        gen = CodeGenSim(flavor="acc", seed=4, defect_rates={})
+        compiler = Compiler(model="acc")
+        executor = Executor()
+        for _ in range(6):
+            candidate = gen.generate("acc.parallel-loop")
+            assert candidate.defect is GenerationDefect.NONE
+            compiled = compiler.compile(candidate.test.source, candidate.test.name)
+            assert compiled.ok, compiled.stderr
+            assert executor.run(compiled).returncode == 0
+
+    def test_defect_mix_approximates_rates(self):
+        gen = CodeGenSim(flavor="acc", seed=5)
+        defects = [gen.generate("acc.parallel-loop").defect for _ in range(300)]
+        clean = sum(1 for d in defects if d is GenerationDefect.NONE)
+        expected_clean = 1.0 - sum(DEFAULT_DEFECT_RATES.values())
+        assert abs(clean / 300 - expected_clean) < 0.1
+
+    def test_compile_defects_fail_compilation(self):
+        gen = CodeGenSim(
+            flavor="acc", seed=6,
+            defect_rates={GenerationDefect.COMPILE_SYNTAX: 1.0},
+        )
+        compiler = Compiler(model="acc")
+        failures = 0
+        for _ in range(8):
+            candidate = gen.generate("acc.parallel-loop")
+            if not compiler.compile(candidate.test.source, "c.c").ok:
+                failures += 1
+        assert failures >= 6
+
+    def test_runtime_defects_compile_but_fail(self):
+        gen = CodeGenSim(
+            flavor="acc", seed=7,
+            defect_rates={GenerationDefect.RUNTIME: 1.0},
+        )
+        compiler = Compiler(model="acc")
+        executor = Executor()
+        nonzero = 0
+        for _ in range(8):
+            candidate = gen.generate("acc.parallel-loop")
+            compiled = compiler.compile(candidate.test.source, "c.c")
+            if compiled.ok and executor.run(compiled).returncode != 0:
+                nonzero += 1
+        assert nonzero >= 5
+
+    def test_missing_verification_runs_clean(self):
+        gen = CodeGenSim(
+            flavor="acc", seed=8,
+            defect_rates={GenerationDefect.MISSING_VERIFICATION: 1.0},
+        )
+        compiler = Compiler(model="acc")
+        executor = Executor()
+        candidate = gen.generate("acc.parallel-loop")
+        compiled = compiler.compile(candidate.test.source, "c.c")
+        assert compiled.ok
+        assert executor.run(compiled).returncode == 0
+        assert not candidate.truly_valid
+
+
+class TestAutomatedBuilder:
+    @pytest.fixture(scope="class")
+    def report(self):
+        builder = AutomatedSuiteBuilder(flavor="acc", seed=9, candidates_per_feature=1)
+        features = [
+            "acc.parallel-loop", "acc.reduction.add", "acc.data.copy",
+            "acc.atomic", "acc.update", "acc.enter-exit-data",
+            "acc.private", "acc.kernels", "acc.if-clause", "acc.loop.collapse",
+        ]
+        return builder.build(features)
+
+    def test_yield_reasonable(self, report):
+        # ~66% of candidates are clean; the pipeline should accept most
+        # of those and reject most defective ones
+        assert 0.3 < report.yield_fraction <= 1.0
+
+    def test_compile_defects_rejected_at_compile_stage(self, report):
+        if report.rejected_by_stage:
+            assert set(report.rejected_by_stage) <= {"compile", "execute", "judge"}
+
+    def test_accepted_tests_mostly_clean(self, report):
+        assert report.false_accepts <= max(2, report.candidates_total // 3)
+
+    def test_suite_and_coverage(self, report):
+        suite = report.suite("auto")
+        assert len(suite) == len(report.accepted)
+        coverage = report.coverage()
+        assert coverage.tests_total == len(report.accepted)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "candidates accepted" in text
+        assert "Feature coverage" in text

@@ -1,0 +1,220 @@
+"""Unit tests for the interpreter and execution substrate."""
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.runtime.executor import Executor
+
+
+def run_c(source: str, model: str = "acc", step_limit: int = 2_000_000):
+    compiled = Compiler(model=model).compile(source, "t.c")
+    assert compiled.ok, compiled.stderr
+    return Executor(step_limit=step_limit).run(compiled)
+
+
+def wrap_main(body: str, includes: str = "#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n#include <openacc.h>\n") -> str:
+    return f"{includes}\nint main() {{\n{body}\n}}\n"
+
+
+class TestScalarsAndArithmetic:
+    def test_return_code(self):
+        assert run_c(wrap_main("return 7;")).returncode == 7
+
+    def test_return_code_masked_to_byte(self):
+        assert run_c(wrap_main("return 300;")).returncode == 300 & 0xFF
+
+    def test_integer_arithmetic(self):
+        assert run_c(wrap_main("int a = 7; int b = 3; return a / b;")).returncode == 2
+
+    def test_truncating_division_toward_zero(self):
+        assert run_c(wrap_main("int a = -7; return -(a / 2);")).returncode == 3
+
+    def test_modulo_c_semantics(self):
+        assert run_c(wrap_main("int a = -7; return -(a % 3);")).returncode == 1
+
+    def test_float_arithmetic(self):
+        result = run_c(wrap_main('double x = 0.5 * 4.0; printf("%f\\n", x); return 0;'))
+        assert "2.0" in result.stdout
+
+    def test_division_by_zero_is_sigfpe(self):
+        result = run_c(wrap_main("int z = 0; return 1 / z;"))
+        assert result.returncode == 136
+        assert "Floating point exception" in result.stderr
+
+    def test_float_division_by_zero_is_inf(self):
+        result = run_c(wrap_main('double z = 0.0; double r = 1.0 / z; printf("%d\\n", isinf(r)); return 0;'))
+        assert result.stdout.strip() == "1"
+
+    def test_compound_assignment(self):
+        assert run_c(wrap_main("int a = 5; a += 3; a *= 2; a -= 1; return a;")).returncode == 15
+
+    def test_increment_decrement(self):
+        body = "int a = 0; int b = a++; int c = ++a; return b * 10 + c;"
+        assert run_c(wrap_main(body)).returncode == 2
+
+    def test_ternary(self):
+        assert run_c(wrap_main("int a = 5; return a > 3 ? 1 : 2;")).returncode == 1
+
+    def test_short_circuit_and(self):
+        body = "int z = 0; int ok = (z != 0) && (1 / z > 0); return ok;"
+        assert run_c(wrap_main(body)).returncode == 0
+
+    def test_bitwise_operators(self):
+        assert run_c(wrap_main("return (6 & 3) | (1 << 2);")).returncode == 6
+
+    def test_int_overflow_wraps_at_32_bits(self):
+        body = "int a = 2147483647; a = a + 1; return a < 0 ? 1 : 0;"
+        assert run_c(wrap_main(body)).returncode == 1
+
+
+class TestControlFlow:
+    def test_for_loop_sum(self):
+        body = "int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s - 55;"
+        assert run_c(wrap_main(body)).returncode == 0
+
+    def test_while_loop(self):
+        body = "int i = 0; while (i < 5) { i++; } return i;"
+        assert run_c(wrap_main(body)).returncode == 5
+
+    def test_do_while_runs_once(self):
+        body = "int i = 10; do { i++; } while (i < 5); return i;"
+        assert run_c(wrap_main(body)).returncode == 11
+
+    def test_break(self):
+        body = "int i; for (i = 0; i < 100; i++) { if (i == 3) break; } return i;"
+        assert run_c(wrap_main(body)).returncode == 3
+
+    def test_continue(self):
+        body = "int s = 0; for (int i = 0; i < 6; i++) { if (i % 2) continue; s += i; } return s;"
+        assert run_c(wrap_main(body)).returncode == 6
+
+    def test_nested_loops(self):
+        body = "int s = 0; for (int i = 0; i < 3; i++) for (int j = 0; j < 3; j++) s++; return s;"
+        assert run_c(wrap_main(body)).returncode == 9
+
+    def test_step_limit_is_timeout(self):
+        result = run_c(wrap_main("while (1) { } return 0;"), step_limit=10_000)
+        assert result.returncode == 124
+        assert result.timed_out
+
+
+class TestFunctions:
+    def test_user_function_call(self):
+        src = """#include <stdio.h>
+int add(int a, int b) { return a + b; }
+int main() { return add(2, 3); }
+"""
+        assert run_c(src).returncode == 5
+
+    def test_recursion(self):
+        src = """#include <stdio.h>
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() { return fact(5) - 115; }
+"""
+        assert run_c(src).returncode == 5
+
+    def test_runaway_recursion_is_stack_overflow(self):
+        src = """#include <stdio.h>
+int f(int n) { return f(n + 1); }
+int main() { return f(0); }
+"""
+        result = run_c(src)
+        assert result.returncode in (124, 139)
+
+    def test_array_decays_to_pointer_argument(self):
+        src = """#include <stdio.h>
+double total(double a[], int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+int main() {
+    double v[4] = {1.0, 2.0, 3.0, 4.0};
+    return (int)total(v, 4) - 10;
+}
+"""
+        assert run_c(src).returncode == 0
+
+
+class TestMemory:
+    def test_malloc_and_store(self):
+        body = (
+            "double *p = (double*)malloc(8 * sizeof(double));"
+            "p[3] = 2.5; return (int)(p[3] * 2.0);"
+        )
+        assert run_c(wrap_main(body)).returncode == 5
+
+    def test_uninitialized_pointer_deref_segfaults(self):
+        result = run_c(wrap_main("double *p; p[0] = 1.0; return 0;"))
+        assert result.returncode == 139
+        assert "Segmentation fault" in result.stderr
+
+    def test_out_of_bounds_heap_access_segfaults(self):
+        body = "double *p = (double*)malloc(4 * sizeof(double)); p[100] = 1.0; return 0;"
+        assert run_c(wrap_main(body)).returncode == 139
+
+    def test_out_of_bounds_array_access_segfaults(self):
+        assert run_c(wrap_main("int a[4]; a[9] = 1; return 0;")).returncode == 139
+
+    def test_use_after_free_segfaults(self):
+        body = (
+            "double *p = (double*)malloc(8); free(p); p[0] = 1.0; return 0;"
+        )
+        assert run_c(wrap_main(body)).returncode == 139
+
+    def test_double_free_segfaults(self):
+        body = "double *p = (double*)malloc(8); free(p); free(p); return 0;"
+        assert run_c(wrap_main(body)).returncode == 139
+
+    def test_two_dimensional_array(self):
+        body = (
+            "int m[3][4]; for (int i = 0; i < 3; i++) for (int j = 0; j < 4; j++)"
+            " m[i][j] = i * 4 + j; return m[2][3] - 11;"
+        )
+        assert run_c(wrap_main(body)).returncode == 0
+
+    def test_initializer_list(self):
+        body = "int a[3] = {4, 5, 6}; return a[0] + a[1] + a[2] - 15;"
+        assert run_c(wrap_main(body)).returncode == 0
+
+    def test_pointer_arithmetic(self):
+        body = (
+            "double *p = (double*)malloc(4 * sizeof(double));"
+            "*(p + 2) = 7.0; return (int)p[2];"
+        )
+        assert run_c(wrap_main(body)).returncode == 7
+
+    def test_sizeof_values(self):
+        body = "return sizeof(double) - sizeof(int) - sizeof(float);"
+        assert run_c(wrap_main(body)).returncode == 0
+
+
+class TestStdio:
+    def test_printf_formats(self):
+        body = 'printf("%d %s %.2f %c\\n", 42, "ok", 3.14159, 65); return 0;'
+        result = run_c(wrap_main(body))
+        assert result.stdout == "42 ok 3.14 A\n"
+
+    def test_printf_long(self):
+        body = 'long big = 1234567890; printf("%ld\\n", big); return 0;'
+        assert run_c(wrap_main(body)).stdout.strip() == "1234567890"
+
+    def test_printf_percent_literal(self):
+        assert run_c(wrap_main('printf("100%%\\n"); return 0;')).stdout == "100%\n"
+
+    def test_exit_function(self):
+        assert run_c(wrap_main("exit(9); return 0;")).returncode == 9
+
+    def test_abort_is_sigabrt(self):
+        assert run_c(wrap_main("abort(); return 0;")).returncode == 134
+
+    def test_rand_deterministic(self):
+        body = 'srand(42); int a = rand(); srand(42); int b = rand(); return a == b ? 0 : 1;'
+        assert run_c(wrap_main(body)).returncode == 0
+
+    def test_math_functions(self):
+        body = (
+            "double r = sqrt(16.0) + fabs(-2.0) + fmax(1.0, 3.0) + pow(2.0, 3.0);"
+            "return (int)r - 17;"
+        )
+        assert run_c(wrap_main(body)).returncode == 0

@@ -1,0 +1,212 @@
+"""Edge-case interpreter tests: conversions, scoping, region corners."""
+
+from repro.compiler.driver import Compiler
+from repro.runtime.executor import Executor
+
+
+def run(source: str, model: str = "acc"):
+    compiled = Compiler(model=model).compile(source, "t.c")
+    assert compiled.ok, compiled.stderr
+    return Executor().run(compiled)
+
+
+HEADER = "#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n#include <openacc.h>\n"
+OMP_HEADER = "#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n#include <omp.h>\n"
+
+
+class TestConversions:
+    def test_int_to_double_in_mixed_arithmetic(self):
+        src = HEADER + "int main() { double x = 3 / 2.0; return x == 1.5 ? 0 : 1; }"
+        assert run(src).returncode == 0
+
+    def test_cast_truncates(self):
+        src = HEADER + "int main() { return (int)3.99 - 3; }"
+        assert run(src).returncode == 0
+
+    def test_char_arithmetic(self):
+        src = HEADER + "int main() { char c = 'A'; return c + 1 - 'B'; }"
+        assert run(src).returncode == 0
+
+    def test_assignment_coerces_to_declared_type(self):
+        src = HEADER + "int main() { int x = 2.7; return x - 2; }"
+        assert run(src).returncode == 0
+
+    def test_float_storage_precision(self):
+        # float (4-byte cell) keeps the assigned Python float in this model;
+        # the test just confirms round-tripping works
+        src = HEADER + "int main() { float f = 0.5; return f * 2.0 == 1.0 ? 0 : 1; }"
+        assert run(src).returncode == 0
+
+
+class TestScoping:
+    def test_shadowing_in_block(self):
+        src = HEADER + """
+int main() {
+    int x = 1;
+    {
+        int x = 2;
+        if (x != 2) return 1;
+    }
+    return x == 1 ? 0 : 2;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_loop_variable_scope_fresh_each_call(self):
+        src = HEADER + """
+int counter() {
+    int total = 0;
+    for (int i = 0; i < 3; i++) { total++; }
+    return total;
+}
+int main() { return counter() + counter() - 6; }
+"""
+        assert run(src).returncode == 0
+
+    def test_global_mutation_persists(self):
+        src = HEADER + """
+int counter = 0;
+void bump() { counter = counter + 1; }
+int main() { bump(); bump(); return counter - 2; }
+"""
+        assert run(src).returncode == 0
+
+    def test_globals_initialized_once(self):
+        src = HEADER + """
+int base = 5;
+int get() { return base; }
+int main() { base = 7; return get() - 7; }
+"""
+        assert run(src).returncode == 0
+
+
+class TestRegionCorners:
+    def test_if_clause_false_runs_on_host(self):
+        src = HEADER + """
+int main() {
+    double a[4];
+    for (int i = 0; i < 4; i++) { a[i] = 1.0; }
+    int flag = 0;
+#pragma acc parallel loop if(flag) copy(a[0:4])
+    for (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; }
+    return a[0] == 2.0 ? 0 : 1;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_nested_data_regions_refcount(self):
+        src = HEADER + """
+int main() {
+    double a[4];
+    for (int i = 0; i < 4; i++) { a[i] = 1.0; }
+#pragma acc data copy(a[0:4])
+    {
+#pragma acc data copyin(a[0:4])
+        {
+#pragma acc parallel loop present(a[0:4])
+            for (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; }
+        }
+    }
+    return a[0] == 2.0 ? 0 : 1;
+}
+"""
+        assert run(src).returncode == 0
+
+    def test_private_loop_variable_does_not_leak(self):
+        src = OMP_HEADER + """
+int main() {
+    int i = 99;
+#pragma omp parallel for
+    for (int i = 0; i < 8; i++) { }
+    return i == 99 ? 0 : 1;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_firstprivate_value_captured(self):
+        src = OMP_HEADER + """
+int main() {
+    int offset = 5;
+    int out[4];
+#pragma omp parallel for firstprivate(offset)
+    for (int i = 0; i < 4; i++) { out[i] = i + offset; }
+    return out[3] == 8 ? 0 : 1;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_atomic_inside_parallel_region_counts(self):
+        src = OMP_HEADER + """
+int main() {
+    int hits = 0;
+#pragma omp parallel for shared(hits)
+    for (int i = 0; i < 10; i++) {
+#pragma omp atomic
+        hits = hits + 1;
+    }
+    return hits - 10;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_sections_execute_all(self):
+        src = OMP_HEADER + """
+int main() {
+    int a = 0;
+    int b = 0;
+#pragma omp parallel
+    {
+#pragma omp sections
+        {
+#pragma omp section
+            { a = 1; }
+#pragma omp section
+            { b = 2; }
+        }
+    }
+    return (a + b) - 3;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+    def test_task_executes_inline(self):
+        src = OMP_HEADER + """
+int main() {
+    int done = 0;
+#pragma omp parallel
+    {
+#pragma omp single
+        {
+#pragma omp task
+            { done = 1; }
+#pragma omp taskwait
+        }
+    }
+    return done == 1 ? 0 : 1;
+}
+"""
+        assert run(src, "omp").returncode == 0
+
+
+class TestStringsAndIo:
+    def test_string_in_array_of_chars_not_needed(self):
+        src = HEADER + 'int main() { printf("%s %s\\n", "multi", "arg"); return 0; }'
+        assert run(src).stdout == "multi arg\n"
+
+    def test_stdout_accumulates_in_order(self):
+        src = HEADER + """
+int main() {
+    for (int i = 0; i < 3; i++) {
+        printf("%d,", i);
+    }
+    printf("\\n");
+    return 0;
+}
+"""
+        assert run(src).stdout == "0,1,2,\n"
+
+    def test_fprintf_goes_to_stderr(self):
+        src = HEADER + 'int main() { fprintf(stderr, "oops\\n"); return 0; }'
+        result = run(src)
+        assert "oops" in result.stderr
+        assert "oops" not in result.stdout

@@ -1,0 +1,160 @@
+"""Unit tests for the tokenizer."""
+
+from repro.compiler.diagnostics import DiagnosticEngine
+from repro.compiler.lexer import Lexer, Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof_only(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo") == [TokenKind.IDENT]
+
+    def test_keyword(self):
+        assert kinds("int") == [TokenKind.KEYWORD]
+
+    def test_underscore_identifier(self):
+        assert texts("_my_var2") == ["_my_var2"]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [TokenKind.INT_LIT]
+
+    def test_hex_literal(self):
+        assert texts("0xFF") == ["0xFF"]
+        assert kinds("0xFF") == [TokenKind.INT_LIT]
+
+    def test_float_literal(self):
+        assert kinds("3.14") == [TokenKind.FLOAT_LIT]
+
+    def test_float_exponent(self):
+        assert kinds("1e-9") == [TokenKind.FLOAT_LIT]
+        assert kinds("2.5E+10") == [TokenKind.FLOAT_LIT]
+
+    def test_float_suffix(self):
+        assert kinds("1.5f") == [TokenKind.FLOAT_LIT]
+
+    def test_integer_suffixes(self):
+        assert kinds("10UL") == [TokenKind.INT_LIT]
+
+    def test_number_at_eof_terminates(self):
+        # regression: suffix scanning must not loop at end of input
+        assert kinds("123") == [TokenKind.INT_LIT]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello"')
+        assert tokens[0].kind is TokenKind.STRING_LIT
+        assert tokens[0].text == '"hello"'
+
+    def test_string_with_escapes(self):
+        tokens = tokenize(r'"a\n\"b"')
+        assert tokens[0].kind is TokenKind.STRING_LIT
+
+    def test_char_literal(self):
+        tokens = tokenize("'x'")
+        assert tokens[0].kind is TokenKind.CHAR_LIT
+
+
+class TestOperators:
+    def test_longest_match_shift_assign(self):
+        assert texts("a <<= 2") == ["a", "<<=", "2"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_arrow(self):
+        assert texts("p->x") == ["p", "->", "x"]
+
+    def test_ellipsis(self):
+        assert texts("f(...)") == ["f", "(", "...", ")"]
+
+    def test_comparison_operators(self):
+        assert texts("a<=b>=c==d!=e") == ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+    def test_logical_operators(self):
+        assert texts("a&&b||c") == ["a", "&&", "b", "||", "c"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_reports_error(self):
+        diags = DiagnosticEngine()
+        Lexer("a /* never closed", "f.c", diags).tokenize()
+        assert diags.has_errors
+        assert "unterminated-comment" in diags.codes()
+
+    def test_line_continuation(self):
+        assert texts("a \\\n b") == ["a", "b"]
+
+
+class TestPreprocessorLines:
+    def test_hash_line_captured(self):
+        tokens = tokenize("#include <stdio.h>\nint x;")
+        assert tokens[0].kind is TokenKind.HASH_LINE
+        assert "include" in tokens[0].text
+
+    def test_pragma_line_captured_whole(self):
+        tokens = tokenize("#pragma acc parallel loop copy(a[0:N])\n")
+        assert tokens[0].kind is TokenKind.HASH_LINE
+        assert tokens[0].text.endswith("copy(a[0:N])")
+
+    def test_hash_after_indent_is_hash_line(self):
+        tokens = tokenize("    #pragma omp barrier\n")
+        assert tokens[0].kind is TokenKind.HASH_LINE
+
+    def test_multiline_pragma_continuation_joined(self):
+        tokens = tokenize("#pragma acc parallel \\\n loop\nx")
+        assert tokens[0].kind is TokenKind.HASH_LINE
+        assert "loop" in tokens[0].text
+
+    def test_hash_mid_line_is_error_not_directive(self):
+        diags = DiagnosticEngine()
+        Lexer("int a # b;", "f.c", diags).tokenize()
+        assert diags.has_errors
+
+
+class TestErrorRecovery:
+    def test_stray_character_reported_and_skipped(self):
+        diags = DiagnosticEngine()
+        tokens = Lexer("a @ b", "f.c", diags).tokenize()
+        assert diags.has_errors
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_string_reported(self):
+        diags = DiagnosticEngine()
+        Lexer('"abc', "f.c", diags).tokenize()
+        assert "unterminated-literal" in diags.codes()
+
+    def test_locations_track_lines(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[2].location.line == 3
+        assert tokens[2].location.column == 3
+
+
+class TestTokenHelpers:
+    def test_is_punct(self):
+        tok = tokenize("{")[0]
+        assert tok.is_punct("{", "}")
+        assert not tok.is_punct(";")
+
+    def test_is_keyword(self):
+        tok = tokenize("while")[0]
+        assert tok.is_keyword("while")
+        assert not tok.is_keyword("for")

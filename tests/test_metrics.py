@@ -1,0 +1,194 @@
+"""Unit tests for metrics: accuracy, bias, tables, radar."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import TestFile
+from repro.metrics.accuracy import (
+    EvaluationSet,
+    MetricsReport,
+    bias,
+    overall_accuracy,
+    per_issue_rows,
+    score_evaluations,
+)
+from repro.metrics.radar import radar_series, render_ascii_radar
+from repro.metrics.tables import (
+    render_comparison_table,
+    render_issue_table,
+    render_overall_table,
+)
+
+
+def make_evals(issues, truth, judged) -> EvaluationSet:
+    return EvaluationSet(
+        issues=np.array(issues),
+        truth_valid=np.array(truth),
+        judged_valid=np.array(judged),
+    )
+
+
+class TestEvaluationSet:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            make_evals([0, 1], [True], [True, False])
+
+    def test_correct_vector(self):
+        evals = make_evals([5, 0], [True, False], [True, True])
+        assert list(evals.correct) == [True, False]
+
+    def test_from_records(self):
+        files = [
+            TestFile("a.c", "c", "acc", "s", "t").with_issue(0),
+            TestFile("b.c", "c", "acc", "s", "t").with_issue(5),
+        ]
+        evals = EvaluationSet.from_records(files, [False, True])
+        assert list(evals.truth_valid) == [False, True]
+        assert list(evals.correct) == [True, True]
+
+    def test_concat(self):
+        a = make_evals([0], [False], [False])
+        b = make_evals([5], [True], [True])
+        combined = a.concat(b)
+        assert len(combined) == 2
+
+
+class TestAccuracy:
+    def test_overall_accuracy(self):
+        evals = make_evals([5, 5, 0, 0], [True, True, False, False],
+                           [True, False, False, True])
+        assert overall_accuracy(evals) == 0.5
+
+    def test_empty_accuracy_zero(self):
+        assert overall_accuracy(make_evals([], [], [])) == 0.0
+
+    def test_per_issue_rows(self):
+        evals = make_evals(
+            [0, 0, 1, 5], [False, False, False, True], [False, True, False, True]
+        )
+        rows = per_issue_rows(evals)
+        by_issue = {r.issue: r for r in rows}
+        assert by_issue[0].count == 2
+        assert by_issue[0].correct == 1
+        assert by_issue[0].accuracy == 0.5
+        assert by_issue[1].accuracy == 1.0
+        assert by_issue[5].accuracy == 1.0
+
+    def test_rows_skip_absent_issues(self):
+        rows = per_issue_rows(make_evals([5], [True], [True]))
+        assert [r.issue for r in rows] == [5]
+
+
+class TestBias:
+    def test_all_permissive_mistakes(self):
+        # invalid files judged valid
+        evals = make_evals([0, 0], [False, False], [True, True])
+        assert bias(evals) == 1.0
+
+    def test_all_restrictive_mistakes(self):
+        evals = make_evals([5, 5], [True, True], [False, False])
+        assert bias(evals) == -1.0
+
+    def test_balanced_mistakes(self):
+        evals = make_evals([0, 5], [False, True], [True, False])
+        assert bias(evals) == 0.0
+
+    def test_no_mistakes_is_zero(self):
+        evals = make_evals([5], [True], [True])
+        assert bias(evals) == 0.0
+
+    def test_paper_formula(self):
+        # 3 permissive + 1 restrictive out of 4 mistakes -> (3-1)/4
+        evals = make_evals(
+            [0, 0, 0, 5, 5], [False, False, False, True, True],
+            [True, True, True, False, True]
+        )
+        assert bias(evals) == pytest.approx(0.5)
+
+
+class TestMetricsReport:
+    def test_from_evaluations(self):
+        evals = make_evals([0, 5], [False, True], [False, True])
+        report = MetricsReport.from_evaluations("judge", evals)
+        assert report.total_count == 2
+        assert report.total_mistakes == 0
+        assert report.overall_accuracy == 1.0
+
+    def test_score_evaluations_one_call(self):
+        files = [
+            TestFile("a.c", "c", "acc", "s", "t").with_issue(3),
+            TestFile("b.c", "c", "acc", "s", "t").with_issue(5),
+        ]
+        report = score_evaluations("x", files, [False, True])
+        assert report.overall_accuracy == 1.0
+
+    def test_accuracy_for_missing_issue(self):
+        report = score_evaluations(
+            "x", [TestFile("a.c", "c", "acc", "s", "t").with_issue(5)], [True]
+        )
+        assert report.accuracy_for(3) is None
+
+
+class TestRadar:
+    def _report(self):
+        issues = [0, 0, 1, 2, 3, 4, 5, 5]
+        truth = [False] * 6 + [True, True]
+        judged = [False, True, False, False, False, True, True, False]
+        files = []
+        for i, issue in enumerate(issues):
+            files.append(TestFile(f"f{i}.c", "c", "acc", "s", "t").with_issue(issue))
+        return score_evaluations("r", files, judged)
+
+    def test_axes_without_valid(self):
+        series = radar_series(self._report())
+        assert series.axes == ("model errors", "improper syntax", "no directives", "test logic")
+
+    def test_axes_with_valid(self):
+        series = radar_series(self._report(), include_valid_axis=True)
+        assert series.axes[-1] == "valid tests"
+        assert series.values[-1] == 0.5
+
+    def test_values_collapse_issues_1_and_2(self):
+        series = radar_series(self._report())
+        # issues 1 and 2: both judged invalid (correct) -> 100%
+        assert series.values[1] == 1.0
+
+    def test_ascii_render_contains_labels(self):
+        series = radar_series(self._report())
+        art = render_ascii_radar([series])
+        assert "model errors" in art
+        assert "test logic" in art
+
+    def test_ascii_render_empty(self):
+        assert "empty" in render_ascii_radar([])
+
+
+class TestTableRendering:
+    def _reports(self):
+        files = [
+            TestFile("a.c", "c", "acc", "s", "t").with_issue(0),
+            TestFile("b.c", "c", "acc", "s", "t").with_issue(5),
+        ]
+        r1 = score_evaluations("Pipeline 1", files, [False, True])
+        r2 = score_evaluations("Pipeline 2", files, [True, True])
+        return r1, r2
+
+    def test_issue_table_contains_rows(self):
+        r1, _ = self._reports()
+        text = render_issue_table(r1, "Title")
+        assert "Title" in text
+        assert "No issue" in text
+        assert "100%" in text
+
+    def test_comparison_table_two_columns(self):
+        r1, r2 = self._reports()
+        text = render_comparison_table(r1, r2)
+        assert "Pipeline 1 Accuracy" in text
+        assert "Pipeline 2 Accuracy" in text
+
+    def test_overall_table_shape(self):
+        r1, r2 = self._reports()
+        text = render_overall_table({"OpenACC": [r1, r2]})
+        assert "Total Count" in text
+        assert "Pipeline 1 Bias" in text
+        assert "Overall Pipeline 2 Accuracy" in text

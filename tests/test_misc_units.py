@@ -1,0 +1,123 @@
+"""Small-unit behaviors not covered elsewhere."""
+
+import pytest
+
+from repro.compiler.pragma import Clause, _top_level_colon
+from repro.llm.model import _diag_codes, _find_int, _find_section
+from repro.llm.profiles import DIAGNOSTIC_TRUST_CATEGORY
+from repro.compiler.driver import Compiler
+from repro.runtime.executor import Executor
+
+
+class TestTopLevelColon:
+    def test_simple(self):
+        assert _top_level_colon("to: a") == 2
+
+    def test_colon_inside_brackets_skipped(self):
+        text = "a[0:N]"
+        assert _top_level_colon(text) == -1
+
+    def test_modifier_before_section(self):
+        text = "tofrom: a[0:N]"
+        assert _top_level_colon(text) == len("tofrom")
+
+    def test_no_colon(self):
+        assert _top_level_colon("a, b, c") == -1
+
+
+class TestClauseHelpers:
+    def test_variables_nested_sections(self):
+        clause = Clause("map", "to: a[0:N], b[1:M]")
+        assert clause.variables() == ["a", "b"]
+
+    def test_modifier_none_without_colon(self):
+        assert Clause("copyin", "a").modifier() is None
+
+    def test_variables_empty_argument(self):
+        assert Clause("copyin", None).variables() == []
+
+    def test_reduction_minus_operator(self):
+        clause = Clause("reduction", "-:x")
+        assert clause.modifier() == "-"
+        assert clause.variables() == ["x"]
+
+
+class TestModelPromptHelpers:
+    def test_find_int(self):
+        assert _find_int("Compiler return code: 2\n", r"Compiler return code:\s*(-?\d+)") == 2
+        assert _find_int("no match", r"(\d+)") is None
+
+    def test_find_section(self):
+        text = "Compiler STDERR: boom\nCompiler STDOUT: ok\n"
+        assert _find_section(text, "Compiler STDERR:", ("Compiler STDOUT:",)) == "boom"
+
+    def test_find_section_missing(self):
+        assert _find_section("nothing here", "STDERR:", ()) == ""
+
+    def test_diag_codes_prefers_tags(self):
+        stderr = "f.c:1:1: error: nope [-Wbad-directive]\n1 error generated."
+        assert _diag_codes(stderr) == ["bad-directive"]
+
+    def test_diag_codes_text_fallback(self):
+        assert "undeclared" in _diag_codes("error: use of undeclared identifier 'x'")
+        assert "syntax" in _diag_codes("error: expected ';'")
+        assert "bad-directive" in _diag_codes("error: invalid clause on directive")
+
+    def test_every_driver_code_categorized(self):
+        """Every diagnostic code the driver can emit must map to a trust
+        category, so agent judges never fall back blindly."""
+        emitted = {
+            "bad-directive", "unknown-clause", "clause-not-allowed",
+            "clause-needs-arg", "bad-reduction", "bad-map", "bad-schedule",
+            "bad-default", "bad-depend", "bad-proc-bind", "missing-clause",
+            "clause-conflict", "unsupported-feature", "directive-needs-loop",
+            "directive-needs-construct", "bad-clause-syntax", "syntax",
+            "unbalanced-brace", "unbalanced-block", "expected-declaration",
+            "unterminated-comment", "unterminated-literal", "stray-character",
+            "missing-header", "undeclared", "undeclared-function", "no-main",
+            "late-declaration", "toolchain-limitation",
+        }
+        assert emitted <= set(DIAGNOSTIC_TRUST_CATEGORY)
+
+
+class TestPointerComparisons:
+    def _run(self, body: str) -> int:
+        src = (
+            "#include <stdio.h>\n#include <stdlib.h>\n#include <openacc.h>\n"
+            f"int main() {{\n{body}\n}}\n"
+        )
+        compiled = Compiler(model="acc").compile(src, "t.c")
+        assert compiled.ok, compiled.stderr
+        return Executor().run(compiled).returncode
+
+    def test_pointer_equality_same_target(self):
+        body = (
+            "double *p = (double*)malloc(16); double *q = p;"
+            "return p == q ? 0 : 1;"
+        )
+        assert self._run(body) == 0
+
+    def test_pointer_inequality_different_offset(self):
+        body = (
+            "double *p = (double*)malloc(32); double *q = p + 1;"
+            "return p != q ? 0 : 1;"
+        )
+        assert self._run(body) == 0
+
+    def test_pointer_difference(self):
+        body = (
+            "double *p = (double*)malloc(64); double *q = p + 5;"
+            "return (int)(q - p) - 5;"
+        )
+        assert self._run(body) == 0
+
+    def test_pointer_ordering(self):
+        body = (
+            "double *p = (double*)malloc(64); double *q = p + 3;"
+            "return q > p ? 0 : 1;"
+        )
+        assert self._run(body) == 0
+
+    def test_null_comparison(self):
+        body = "double *p = (double*)malloc(8); return p != NULL ? 0 : 1;"
+        assert self._run(body) == 0

@@ -1,0 +1,295 @@
+"""Unit tests for the C parser."""
+
+import pytest
+
+from repro.compiler import astnodes as ast
+from repro.compiler.cparser import Parser
+from repro.compiler.diagnostics import DiagnosticEngine
+from repro.compiler.lexer import Lexer
+from repro.compiler.preprocessor import Preprocessor
+
+
+def parse(source: str):
+    diags = DiagnosticEngine()
+    tokens = Lexer(source, "t.c", diags).tokenize()
+    pp = Preprocessor(diags)
+    result = pp.run(tokens)
+    unit = Parser(result.tokens, diags, "t.c").parse_translation_unit()
+    return unit, diags
+
+
+def parse_expr(source: str):
+    diags = DiagnosticEngine()
+    tokens = Lexer(source, "t.c", diags).tokenize()
+    expr = Parser(tokens, diags, "t.c").parse_expression()
+    assert not diags.has_errors, diags.render_stderr()
+    return expr
+
+
+def main_body(source: str) -> list:
+    unit, diags = parse(source)
+    assert not diags.has_errors, diags.render_stderr()
+    fn = unit.function("main")
+    assert fn is not None
+    return fn.body.body
+
+
+class TestTopLevel:
+    def test_empty_function(self):
+        unit, diags = parse("int main() { return 0; }")
+        assert not diags.has_errors
+        assert unit.function("main") is not None
+
+    def test_function_with_params(self):
+        unit, _ = parse("double f(double x, int n) { return x; }")
+        fn = unit.functions[0]
+        assert [p.name for p in fn.params] == ["x", "n"]
+        assert fn.params[0].ctype.base == "double"
+
+    def test_void_param_list(self):
+        unit, diags = parse("int main(void) { return 0; }")
+        assert not diags.has_errors
+
+    def test_array_param(self):
+        unit, _ = parse("void f(double a[], int n) { }")
+        assert unit.functions[0].params[0].array
+
+    def test_prototype(self):
+        unit, diags = parse("int helper(int x);\nint main() { return helper(1); }")
+        assert not diags.has_errors
+        assert unit.functions[0].body is None
+
+    def test_global_declaration(self):
+        unit, _ = parse("int counter = 0;\nint main() { return counter; }")
+        assert len(unit.globals) == 1
+        assert unit.globals[0].declarators[0].name == "counter"
+
+    def test_variadic_function(self):
+        unit, diags = parse("int f(int a, ...);\nint main() { return 0; }")
+        assert not diags.has_errors
+        assert unit.functions[0].variadic
+
+    def test_missing_close_brace_reports(self):
+        _, diags = parse("int main() { return 0;")
+        assert "unbalanced-brace" in diags.codes()
+
+    def test_extra_close_brace_reports(self):
+        _, diags = parse("int main() { return 0; } }")
+        assert "unbalanced-brace" in diags.codes()
+
+    def test_garbage_at_top_level_reports(self):
+        _, diags = parse("lorem ipsum; int main() { return 0; }")
+        assert diags.has_errors
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        body = main_body("int main() { int x = 5; return x; }")
+        decl = body[0]
+        assert isinstance(decl, ast.Declaration)
+        assert decl.declarators[0].name == "x"
+        assert isinstance(decl.declarators[0].init, ast.IntLiteral)
+
+    def test_multi_declarator(self):
+        body = main_body("int main() { int a = 1, b = 2; return a + b; }")
+        assert len(body[0].declarators) == 2
+
+    def test_pointer_declarator_in_list(self):
+        body = main_body("int main() { double x = 0, *p = 0; return 0; }")
+        assert body[0].declarators[1].ctype.is_pointer
+
+    def test_array_declaration(self):
+        body = main_body("int main() { double a[10]; return 0; }")
+        assert body[0].declarators[0].is_array
+
+    def test_two_dimensional_array(self):
+        body = main_body("int main() { double m[4][8]; return 0; }")
+        assert len(body[0].declarators[0].array_dims) == 2
+
+    def test_initializer_list(self):
+        body = main_body("int main() { int a[3] = {1, 2, 3}; return 0; }")
+        assert isinstance(body[0].declarators[0].init, ast.InitList)
+
+    def test_if_else(self):
+        body = main_body("int main() { if (1) return 1; else return 0; }")
+        stmt = body[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_while(self):
+        body = main_body("int main() { while (0) { } return 0; }")
+        assert isinstance(body[0], ast.While)
+
+    def test_do_while(self):
+        body = main_body("int main() { int i = 0; do { i++; } while (i < 3); return i; }")
+        assert isinstance(body[1], ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        body = main_body("int main() { for (int i = 0; i < 10; i++) { } return 0; }")
+        stmt = body[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Declaration)
+
+    def test_for_with_expression_init(self):
+        body = main_body("int main() { int i; for (i = 0; i < 3; i++) { } return 0; }")
+        assert isinstance(body[1].init, ast.ExprStmt)
+
+    def test_for_empty_header(self):
+        body = main_body("int main() { for (;;) { break; } return 0; }")
+        stmt = body[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        body = main_body(
+            "int main() { for (;;) { if (1) break; continue; } return 0; }"
+        )
+        inner = body[0].body.body
+        assert isinstance(inner[0].then, ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+    def test_empty_statement(self):
+        body = main_body("int main() { ; return 0; }")
+        assert isinstance(body[0], ast.ExprStmt)
+        assert body[0].expr is None
+
+    def test_nested_blocks(self):
+        body = main_body("int main() { { { int x = 1; } } return 0; }")
+        assert isinstance(body[0], ast.Compound)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = 1")
+        assert isinstance(expr, ast.Assignment)
+        assert isinstance(expr.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("x += 2")
+        assert isinstance(expr, ast.Assignment)
+        assert expr.op == "+="
+
+    def test_conditional_expression(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x + 2)")
+        assert isinstance(expr, ast.Call)
+        assert expr.callee == "f"
+        assert len(expr.args) == 2
+
+    def test_index_chain(self):
+        expr = parse_expr("m[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "-"
+
+    def test_prefix_and_postfix_increment(self):
+        pre = parse_expr("++i")
+        post = parse_expr("i++")
+        assert pre.prefix and not post.prefix
+
+    def test_address_of_and_deref(self):
+        expr = parse_expr("*&x")
+        assert expr.op == "*"
+        assert expr.operand.op == "&"
+
+    def test_cast(self):
+        expr = parse_expr("(double)n")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type.base == "double"
+
+    def test_pointer_cast(self):
+        expr = parse_expr("(double*)p")
+        assert expr.target_type.is_pointer
+
+    def test_sizeof_type(self):
+        expr = parse_expr("sizeof(double)")
+        assert isinstance(expr, ast.SizeOf)
+        assert expr.target_type is not None
+
+    def test_sizeof_expression(self):
+        expr = parse_expr("sizeof x")
+        assert isinstance(expr, ast.SizeOf)
+        assert expr.operand is not None
+
+    def test_comma_expression(self):
+        expr = parse_expr("a = 1, b = 2")
+        assert isinstance(expr, ast.CommaExpr)
+
+    def test_string_concatenation(self):
+        expr = parse_expr('"ab" "cd"')
+        assert isinstance(expr, ast.StringLiteral)
+        assert expr.value == "abcd"
+
+    def test_char_literal_value(self):
+        expr = parse_expr("'A'")
+        assert isinstance(expr, ast.CharLiteral)
+
+    def test_true_false_literals(self):
+        assert parse_expr("true").value == 1
+        assert parse_expr("false").value == 0
+
+
+class TestPragmaIntegration:
+    def test_pragma_attaches_to_loop(self, valid_acc_source):
+        unit, diags = parse(valid_acc_source)
+        assert not diags.has_errors
+        directives = [
+            stmt
+            for stmt in ast.walk_statements(unit.function("main").body)
+            if isinstance(stmt, ast.DirectiveStmt)
+        ]
+        assert len(directives) == 1
+        assert isinstance(directives[0].construct, ast.For)
+
+    def test_unknown_pragma_flavor_ignored(self):
+        unit, diags = parse("#pragma once\nint main() { return 0; }")
+        assert not diags.has_errors
+
+    def test_bad_directive_reports(self):
+        _, diags = parse(
+            "#include <openacc.h>\nint main() {\n#pragma acc paralel loop\n"
+            "for (int i = 0; i < 3; i++) { }\nreturn 0; }"
+        )
+        assert "bad-directive" in diags.codes()
+
+    def test_standalone_directive_no_construct(self):
+        unit, diags = parse(
+            "int main() {\n#pragma acc wait\nreturn 0; }"
+        )
+        assert not diags.has_errors
+        stmt = unit.function("main").body.body[0]
+        assert isinstance(stmt, ast.DirectiveStmt)
+        assert stmt.construct is None
+
+
+class TestErrorRecovery:
+    def test_recovers_after_bad_statement(self):
+        _, diags = parse("int main() { int x = ; int y = 2; return y; }")
+        assert diags.has_errors
+        # the parser must not cascade into infinite errors
+        assert diags.error_count < 10
+
+    def test_unbalanced_parens_in_condition(self):
+        _, diags = parse("int main() { if (x { return 1; } return 0; }")
+        assert diags.has_errors
+
+    def test_no_infinite_loop_on_garbage(self):
+        _, diags = parse("@#$%^&* int main() { return 0; }")
+        assert diags.has_errors

@@ -1,0 +1,154 @@
+"""Unit tests for the staged validation pipeline."""
+
+import pytest
+
+from repro.corpus.generator import TestFile
+from repro.llm.model import DeepSeekCoderSim
+from repro.pipeline.engine import PipelineConfig, ValidationPipeline
+from repro.pipeline.stats import PipelineStats, StageStats
+
+
+def make_tests(valid_acc_source: str, n: int = 6) -> list[TestFile]:
+    tests = []
+    for i in range(n):
+        source = valid_acc_source.replace("3.0", f"{i + 2}.0")
+        tests.append(TestFile(f"t{i}.c", "c", "acc", source, "x"))
+    return tests
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = PipelineConfig()
+        assert config.flavor == "acc"
+        assert config.early_exit
+
+    def test_bad_flavor(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(flavor="cuda")
+
+    def test_bad_judge_kind(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(judge_kind="other")
+
+    def test_worker_minimum(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(compile_workers=0)
+
+
+class TestPipelineRun:
+    def test_all_valid_files_pass(self, valid_acc_source, model):
+        tests = make_tests(valid_acc_source)
+        pipeline = ValidationPipeline(PipelineConfig(), model=model)
+        result = pipeline.run(tests)
+        assert len(result.records) == len(tests)
+        assert all(r.compiled and r.ran_clean for r in result.records)
+
+    def test_output_order_matches_input(self, valid_acc_source, model):
+        tests = make_tests(valid_acc_source, 8)
+        pipeline = ValidationPipeline(
+            PipelineConfig(compile_workers=4, execute_workers=4, judge_workers=2),
+            model=model,
+        )
+        result = pipeline.run(tests)
+        assert [r.test.name for r in result.records] == [t.name for t in tests]
+
+    def test_early_exit_skips_judge(self, valid_acc_source, model):
+        broken = valid_acc_source.replace("{", "", 1)
+        tests = [
+            TestFile("good.c", "c", "acc", valid_acc_source, "x"),
+            TestFile("bad.c", "c", "acc", broken, "x"),
+        ]
+        pipeline = ValidationPipeline(PipelineConfig(early_exit=True), model=model)
+        result = pipeline.run(tests)
+        bad = result.record_for("bad.c")
+        assert not bad.compiled
+        assert bad.judge_result is None
+        assert not bad.pipeline_says_valid
+        assert result.stats.judge.skipped == 1
+
+    def test_record_all_judges_everything(self, valid_acc_source, model):
+        broken = valid_acc_source.replace("{", "", 1)
+        tests = [
+            TestFile("good.c", "c", "acc", valid_acc_source, "x"),
+            TestFile("bad.c", "c", "acc", broken, "x"),
+        ]
+        pipeline = ValidationPipeline(PipelineConfig(early_exit=False), model=model)
+        result = pipeline.run(tests)
+        assert all(r.judge_result is not None for r in result.records)
+
+    def test_runtime_failure_blocks_pipeline_verdict(self, model):
+        source = """#include <stdio.h>
+#include <stdlib.h>
+#include <openacc.h>
+int main() {
+    double *p;
+    p[0] = 1.0;
+    return 0;
+}
+"""
+        tests = [TestFile("segv.c", "c", "acc", source, "x")]
+        pipeline = ValidationPipeline(PipelineConfig(early_exit=True), model=model)
+        record = pipeline.run(tests).records[0]
+        assert record.compiled
+        assert record.run_rc == 139
+        assert not record.pipeline_says_valid
+
+    def test_deterministic_across_worker_counts(self, valid_acc_source):
+        """Parallelism must not change verdicts (prompt-seeded model)."""
+        tests = make_tests(valid_acc_source, 6)
+        verdicts = []
+        for workers in (1, 4):
+            pipeline = ValidationPipeline(
+                PipelineConfig(
+                    compile_workers=workers, execute_workers=workers, judge_workers=workers
+                ),
+                model=DeepSeekCoderSim(seed=31),
+            )
+            result = pipeline.run(tests)
+            verdicts.append([r.pipeline_says_valid for r in result.records])
+        assert verdicts[0] == verdicts[1]
+
+    def test_stats_populated(self, valid_acc_source, model):
+        tests = make_tests(valid_acc_source, 4)
+        result = ValidationPipeline(PipelineConfig(), model=model).run(tests)
+        stats = result.stats
+        assert stats.files_total == 4
+        assert stats.compile.processed == 4
+        assert stats.throughput > 0
+        assert stats.judge.simulated_seconds > 0
+
+    def test_empty_input(self, model):
+        result = ValidationPipeline(PipelineConfig(), model=model).run([])
+        assert result.records == []
+        assert result.stats.files_total == 0
+
+    def test_tool_report_roundtrip(self, valid_acc_source, model):
+        tests = make_tests(valid_acc_source, 1)
+        record = ValidationPipeline(PipelineConfig(), model=model).run(tests).records[0]
+        report = record.tool_report()
+        assert report.compile_rc == 0
+        assert report.run_rc == 0
+
+
+class TestStats:
+    def test_stage_record(self):
+        stage = StageStats("compile")
+        stage.record(True, 0.1, 0.1)
+        stage.record(False, 0.2, 0.2)
+        stage.record_skip()
+        snap = stage.snapshot()
+        assert snap["processed"] == 2
+        assert snap["passed"] == 1
+        assert snap["failed"] == 1
+        assert snap["skipped"] == 1
+
+    def test_pipeline_summary_shape(self):
+        stats = PipelineStats()
+        stats.files_total = 10
+        stats.wall_seconds = 2.0
+        summary = stats.summary()
+        assert summary["files_total"] == 10
+        assert set(summary["stages"]) == {"compile", "execute", "judge"}
+
+    def test_throughput_zero_when_no_time(self):
+        assert PipelineStats().throughput == 0.0

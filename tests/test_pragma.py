@@ -1,0 +1,128 @@
+"""Unit tests for pragma/directive parsing."""
+
+import pytest
+
+from repro.compiler import openacc_spec, openmp_spec
+from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
+from repro.compiler.pragma import (
+    Clause,
+    PragmaParseError,
+    parse_directive,
+    split_pragma_line,
+)
+
+LOC = SourceLocation("t.c", 1, 1)
+
+
+def parse_acc(text: str):
+    diags = DiagnosticEngine()
+    d = parse_directive(
+        text, LOC, diags, openacc_spec.DIRECTIVE_NAMES, openacc_spec.CLAUSE_NAMES
+    )
+    return d, diags
+
+
+def parse_omp(text: str):
+    diags = DiagnosticEngine()
+    d = parse_directive(
+        text, LOC, diags, openmp_spec.DIRECTIVE_NAMES, openmp_spec.CLAUSE_NAMES
+    )
+    return d, diags
+
+
+class TestSplitPragmaLine:
+    def test_acc_line(self):
+        assert split_pragma_line("#pragma acc parallel loop") == ("acc", "parallel loop")
+
+    def test_omp_line(self):
+        model, tail = split_pragma_line("#pragma omp target teams")
+        assert model == "omp"
+
+    def test_foreign_pragma(self):
+        model, _ = split_pragma_line("#pragma once")
+        assert model == ""
+
+    def test_non_pragma_raises(self):
+        with pytest.raises(PragmaParseError):
+            split_pragma_line("#include <stdio.h>")
+
+
+class TestDirectiveNames:
+    def test_single_word(self):
+        d, diags = parse_acc("#pragma acc parallel")
+        assert not diags.has_errors
+        assert d.name == "parallel"
+
+    def test_longest_match_two_words(self):
+        d, _ = parse_acc("#pragma acc parallel loop")
+        assert d.name == "parallel loop"
+
+    def test_longest_match_five_words(self):
+        d, _ = parse_omp("#pragma omp target teams distribute parallel for")
+        assert d.name == "target teams distribute parallel for"
+
+    def test_enter_data(self):
+        d, _ = parse_acc("#pragma acc enter data copyin(a)")
+        assert d.name == "enter data"
+
+    def test_unknown_directive_errors(self):
+        d, diags = parse_acc("#pragma acc paralel loop")
+        assert d is None
+        assert "bad-directive" in diags.codes()
+
+    def test_empty_directive_errors(self):
+        d, diags = parse_acc("#pragma acc")
+        assert d is None
+        assert diags.has_errors
+
+
+class TestClauses:
+    def test_bare_clause(self):
+        d, _ = parse_acc("#pragma acc loop seq")
+        assert d.has_clause("seq")
+        assert not d.clause("seq").has_argument
+
+    def test_clause_with_argument(self):
+        d, _ = parse_acc("#pragma acc parallel num_gangs(8)")
+        assert d.clause("num_gangs").argument == "8"
+
+    def test_multiple_clauses(self):
+        d, _ = parse_acc("#pragma acc parallel loop copyin(a) copyout(b) collapse(2)")
+        assert d.clause_names() == ["copyin", "copyout", "collapse"]
+
+    def test_array_section_variables(self):
+        d, _ = parse_acc("#pragma acc data copy(a[0:N], b[2:M])")
+        assert d.clause("copy").variables() == ["a", "b"]
+
+    def test_reduction_modifier_and_vars(self):
+        d, _ = parse_acc("#pragma acc parallel loop reduction(+:x, y)")
+        clause = d.clause("reduction")
+        assert clause.modifier() == "+"
+        assert clause.variables() == ["x", "y"]
+
+    def test_map_with_array_section_colon(self):
+        d, _ = parse_omp("#pragma omp target map(to: a[0:N])")
+        clause = d.clause("map")
+        assert clause.modifier() == "to"
+        assert clause.variables() == ["a"]
+
+    def test_map_tofrom_multiple(self):
+        d, _ = parse_omp("#pragma omp target map(tofrom: a[0:N], b[0:N])")
+        assert d.clause("map").variables() == ["a", "b"]
+
+    def test_unknown_clause_reports(self):
+        _, diags = parse_acc("#pragma acc parallel frobnicate(a)")
+        assert "unknown-clause" in diags.codes()
+
+    def test_unbalanced_clause_parens(self):
+        d, diags = parse_acc("#pragma acc parallel copyin(a[0:N]")
+        assert d is None
+        assert "bad-clause-syntax" in diags.codes()
+
+    def test_clause_str_roundtrip(self):
+        clause = Clause("copyin", "a[0:N]")
+        assert str(clause) == "copyin(a[0:N])"
+
+    def test_directive_str(self):
+        d, _ = parse_acc("#pragma acc parallel loop gang")
+        assert str(d).startswith("#pragma acc parallel loop")

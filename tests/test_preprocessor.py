@@ -1,0 +1,129 @@
+"""Unit tests for the preprocessor."""
+
+from repro.compiler.diagnostics import DiagnosticEngine
+from repro.compiler.lexer import Lexer, TokenKind
+from repro.compiler.preprocessor import Preprocessor
+
+
+def preprocess(source: str, macros: dict | None = None):
+    diags = DiagnosticEngine()
+    tokens = Lexer(source, "t.c", diags).tokenize()
+    pp = Preprocessor(diags, macros or {})
+    result = pp.run(tokens)
+    return result, diags
+
+
+def token_texts(result) -> list[str]:
+    return [t.text for t in result.tokens if t.kind is not TokenKind.EOF]
+
+
+class TestIncludes:
+    def test_known_header_ok(self):
+        result, diags = preprocess("#include <stdio.h>\n")
+        assert not diags.has_errors
+        assert result.includes == ["stdio.h"]
+
+    def test_quoted_header(self):
+        result, diags = preprocess('#include "omp_testsuite.h"\n')
+        assert not diags.has_errors
+
+    def test_unknown_header_is_fatal(self):
+        _, diags = preprocess("#include <no_such_header.h>\n")
+        assert "missing-header" in diags.codes()
+
+    def test_testsuite_header_provides_macros(self):
+        result, _ = preprocess('#include "acc_testsuite.h"\nint x = LOOPCOUNT;\n')
+        assert "1024" in token_texts(result)
+
+
+class TestDefines:
+    def test_object_macro_substitution(self):
+        result, diags = preprocess("#define N 64\nint a[N];\n")
+        assert not diags.has_errors
+        assert "64" in token_texts(result)
+        assert "N" not in token_texts(result)
+
+    def test_macro_recorded_in_defines(self):
+        result, _ = preprocess("#define SIZE 128\n")
+        assert result.defines.get("SIZE") == "128"
+
+    def test_recursive_substitution(self):
+        result, _ = preprocess("#define A B\n#define B 7\nint x = A;\n")
+        assert "7" in token_texts(result)
+
+    def test_undef_removes_macro(self):
+        result, _ = preprocess("#define N 1\n#undef N\nint x = N;\n")
+        assert "N" in token_texts(result)
+
+    def test_function_like_macro_warns_not_expands(self):
+        _, diags = preprocess("#define SQ(x) ((x)*(x))\n")
+        assert "pp-funcmacro" in diags.codes()
+        assert not diags.has_errors
+
+    def test_define_without_value_defaults_to_1(self):
+        result, _ = preprocess("#define FLAG\nint x = FLAG;\n")
+        assert "1" in token_texts(result)
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        result, _ = preprocess("#ifdef _OPENACC\nint a;\n#endif\n", {"_OPENACC": "201711"})
+        assert "a" in token_texts(result)
+
+    def test_ifdef_not_taken(self):
+        result, _ = preprocess("#ifdef _OPENMP\nint a;\n#endif\nint b;\n")
+        texts = token_texts(result)
+        assert "a" not in texts
+        assert "b" in texts
+
+    def test_ifndef(self):
+        result, _ = preprocess("#ifndef MISSING\nint a;\n#endif\n")
+        assert "a" in token_texts(result)
+
+    def test_else_branch(self):
+        result, _ = preprocess("#ifdef MISSING\nint a;\n#else\nint b;\n#endif\n")
+        texts = token_texts(result)
+        assert "a" not in texts and "b" in texts
+
+    def test_if_defined_expression(self):
+        result, _ = preprocess(
+            "#if defined(_OPENACC)\nint a;\n#endif\n", {"_OPENACC": "201711"}
+        )
+        assert "a" in token_texts(result)
+
+    def test_if_version_comparison(self):
+        result, _ = preprocess(
+            "#if _OPENMP >= 201511\nint a;\n#endif\n", {"_OPENMP": "201511"}
+        )
+        assert "a" in token_texts(result)
+
+    def test_nested_conditionals(self):
+        src = "#ifdef A\n#ifdef B\nint x;\n#endif\nint y;\n#endif\n"
+        result, _ = preprocess(src, {"A": "1"})
+        texts = token_texts(result)
+        assert "x" not in texts and "y" in texts
+
+    def test_unterminated_if_reports(self):
+        _, diags = preprocess("#ifdef A\nint x;\n")
+        assert "pp-mismatch" in diags.codes()
+
+    def test_stray_endif_reports(self):
+        _, diags = preprocess("#endif\n")
+        assert "pp-mismatch" in diags.codes()
+
+
+class TestPassthrough:
+    def test_pragma_lines_survive(self):
+        result, _ = preprocess("#pragma acc parallel loop\nfor(;;);\n")
+        hash_lines = [t for t in result.tokens if t.kind is TokenKind.HASH_LINE]
+        assert len(hash_lines) == 1
+        assert "acc" in hash_lines[0].text
+
+    def test_error_directive_reports(self):
+        _, diags = preprocess("#error bad configuration\n")
+        assert "pp-error" in diags.codes()
+
+    def test_unsupported_directive_warns(self):
+        _, diags = preprocess("#line 5\n")
+        assert "pp-unsupported" in diags.codes()
+        assert not diags.has_errors

@@ -1,0 +1,202 @@
+"""Unit tests for negative probing: mutators, random code, prober."""
+
+import random
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.corpus.generator import TestFile
+from repro.probing.mutators import (
+    ISSUE_DESCRIPTIONS,
+    DirectiveOrAllocationMutator,
+    LastSectionMutator,
+    MutationError,
+    OpeningBracketMutator,
+    RandomReplacementMutator,
+    UndeclaredVariableMutator,
+    mutator_for_issue,
+)
+from repro.probing.prober import NegativeProber
+from repro.probing.randomcode import RandomCodeGenerator
+from repro.runtime.executor import Executor
+
+
+def make_test(source: str, language: str = "c") -> TestFile:
+    ext = {"c": ".c", "cpp": ".cpp", "f90": ".f90"}[language]
+    return TestFile(f"t{ext}", language, "acc", source, "fixture")
+
+
+class TestMutatorRegistry:
+    def test_every_issue_has_description(self):
+        assert set(ISSUE_DESCRIPTIONS) == {0, 1, 2, 3, 4, 5}
+
+    def test_mutator_for_each_issue(self):
+        for issue in range(5):
+            assert mutator_for_issue(issue).issue == issue
+
+    def test_unknown_issue_raises(self):
+        with pytest.raises(ValueError):
+            mutator_for_issue(7)
+
+
+class TestIssue0(object):
+    def test_directive_swap_breaks_compilation(self, valid_acc_source, rng):
+        # force the directive strategy by removing malloc from the source
+        mutator = DirectiveOrAllocationMutator()
+        mutated = mutator.mutate(make_test(valid_acc_source), rng)
+        assert mutated.issue == 0
+        result = Compiler(model="acc").compile(mutated.source, "t.c")
+        assert not result.ok
+
+    def test_malloc_removal_compiles_but_faults(self, rng):
+        source = """#include <stdio.h>
+#include <stdlib.h>
+#include <openacc.h>
+int main() {
+    double *a = (double*)malloc(16 * sizeof(double));
+    for (int i = 0; i < 16; i++) { a[i] = i; }
+    printf("%f\\n", a[3]);
+    return 0;
+}
+"""
+        mutator = DirectiveOrAllocationMutator()
+        # try until the alloc strategy is chosen (it is one of two)
+        for seed in range(20):
+            mutated = mutator.mutate(make_test(source), random.Random(seed))
+            if "malloc" not in mutated.source:
+                break
+        else:
+            pytest.fail("alloc strategy never chosen")
+        compiled = Compiler(model="acc").compile(mutated.source, "t.c")
+        assert compiled.ok
+        assert Executor().run(compiled).returncode == 139
+
+    def test_no_target_raises(self, rng):
+        plain = make_test("int main() { return 0; }")
+        with pytest.raises(MutationError):
+            DirectiveOrAllocationMutator().mutate(plain, rng)
+
+    def test_fortran_directive_corrupted(self, valid_f90_source, rng):
+        mutated = DirectiveOrAllocationMutator().mutate(
+            make_test(valid_f90_source, "f90"), rng
+        )
+        assert mutated.source != valid_f90_source
+
+
+class TestIssue1:
+    def test_removes_exactly_one_brace(self, valid_acc_source, rng):
+        mutated = OpeningBracketMutator().mutate(make_test(valid_acc_source), rng)
+        assert mutated.source.count("{") == valid_acc_source.count("{") - 1
+
+    def test_breaks_compilation(self, valid_acc_source, rng):
+        mutated = OpeningBracketMutator().mutate(make_test(valid_acc_source), rng)
+        assert not Compiler(model="acc").compile(mutated.source, "t.c").ok
+
+    def test_fortran_removes_block_opener(self, valid_f90_source, rng):
+        mutated = OpeningBracketMutator().mutate(make_test(valid_f90_source, "f90"), rng)
+        result = Compiler(model="acc").compile(mutated.source, "t.f90")
+        assert not result.ok
+
+
+class TestIssue2:
+    def test_inserts_undeclared_use(self, valid_acc_source, rng):
+        mutated = UndeclaredVariableMutator().mutate(make_test(valid_acc_source), rng)
+        result = Compiler(model="acc").compile(mutated.source, "t.c")
+        assert result.has_code("undeclared")
+
+    def test_fortran_variant(self, valid_f90_source, rng):
+        mutated = UndeclaredVariableMutator().mutate(make_test(valid_f90_source, "f90"), rng)
+        result = Compiler(model="acc").compile(mutated.source, "t.f90")
+        assert result.has_code("undeclared")
+
+
+class TestIssue3:
+    def test_replaces_entire_file(self, valid_acc_source, rng):
+        mutated = RandomReplacementMutator().mutate(make_test(valid_acc_source), rng)
+        assert "#pragma acc" not in mutated.source
+
+    def test_valid_fraction_controls_compilability(self):
+        compiler = Compiler(model="acc")
+        always = RandomCodeGenerator.with_seed(1, valid_fraction=1.0)
+        compile_ok = sum(
+            1 for _ in range(20) if compiler.compile(always.generate(), "r.c").ok
+        )
+        assert compile_ok == 20
+        never = RandomCodeGenerator.with_seed(2, valid_fraction=0.0)
+        compile_fail = sum(
+            1 for _ in range(20) if not compiler.compile(never.generate(), "r.c").ok
+        )
+        assert compile_fail >= 16  # corruption is best-effort but near-total
+
+    def test_random_code_has_no_directives(self):
+        gen = RandomCodeGenerator.with_seed(3)
+        for _ in range(10):
+            assert "#pragma" not in gen.generate()
+
+    def test_fortran_random_code(self):
+        gen = RandomCodeGenerator.with_seed(4, valid_fraction=1.0)
+        source = gen.generate_fortran()
+        assert "program" in source
+        assert Compiler(model="acc").compile(source, "r.f90").ok
+
+
+class TestIssue4:
+    def test_removes_last_block_stays_compilable(self, valid_acc_source, rng):
+        mutated = LastSectionMutator().mutate(make_test(valid_acc_source), rng)
+        compiled = Compiler(model="acc").compile(mutated.source, "t.c")
+        assert compiled.ok, compiled.stderr
+
+    def test_mutant_exits_zero(self, valid_acc_source, rng):
+        """The removed block is the failure branch: mutant always passes."""
+        mutated = LastSectionMutator().mutate(make_test(valid_acc_source), rng)
+        compiled = Compiler(model="acc").compile(mutated.source, "t.c")
+        assert Executor().run(compiled).returncode == 0
+
+    def test_failure_branch_gone(self, valid_acc_source, rng):
+        mutated = LastSectionMutator().mutate(make_test(valid_acc_source), rng)
+        assert "return 1" not in mutated.source
+
+    def test_fortran_removes_if_block(self, valid_f90_source, rng):
+        mutated = LastSectionMutator().mutate(make_test(valid_f90_source, "f90"), rng)
+        compiled = Compiler(model="acc").compile(mutated.source, "t.f90")
+        assert compiled.ok, compiled.stderr
+        assert "stop 1" not in mutated.source
+
+
+class TestProber:
+    def test_half_mutated_half_unchanged(self, acc_probed):
+        counts = acc_probed.issue_counts()
+        mutated = sum(counts[i] for i in range(5))
+        assert counts[5] == len(acc_probed) - mutated
+        assert abs(counts[5] - mutated) <= 1
+
+    def test_ground_truth_matches_issues(self, acc_probed):
+        for test, valid in zip(acc_probed, acc_probed.ground_truth()):
+            assert valid == (test.issue in (None, 5))
+
+    def test_deterministic(self, acc_corpus):
+        from repro.corpus.suite import TestSuite
+
+        suite = TestSuite("d", "acc", list(acc_corpus))
+        a = NegativeProber(seed=5).probe(suite)
+        b = NegativeProber(seed=5).probe(suite)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.source for t in a] == [t.source for t in b]
+
+    def test_issue_weights_respected(self, acc_corpus):
+        from repro.corpus.suite import TestSuite
+
+        suite = TestSuite("w", "acc", list(acc_corpus))
+        probed = NegativeProber(seed=5, issue_weights={3: 1.0}).probe(suite)
+        counts = probed.issue_counts()
+        assert counts[3] == len(probed) // 2
+        assert counts[0] == counts[1] == counts[2] == counts[4] == 0
+
+    def test_by_issue_accessor(self, acc_probed):
+        for issue in range(6):
+            for test in acc_probed.by_issue(issue):
+                expected = issue if issue != 5 else (None, 5)
+                if issue == 5:
+                    assert test.issue in (None, 5)
+                else:
+                    assert test.issue == issue

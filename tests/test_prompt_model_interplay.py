@@ -1,0 +1,119 @@
+"""Contract tests between prompt builders and the simulated model.
+
+The model's prompt parser and the judge's prompt builders form an
+implicit protocol (marker strings, section ordering, vocabulary).
+These tests pin that protocol so either side can be refactored safely.
+"""
+
+from repro.judge.prompts import agent_direct_prompt, agent_indirect_prompt, direct_prompt
+from repro.llm.model import DeepSeekCoderSim
+from repro.llm.profiles import AGENT_DIRECT, AGENT_INDIRECT, DIRECT
+
+
+def parse(prompt: str):
+    model = DeepSeekCoderSim(seed=0)
+    return model._parse_prompt(prompt)
+
+
+CODE = "#include <openacc.h>\nint main() {\n#pragma acc parallel loop\nfor (int i = 0; i < 4; i++) { }\nreturn 0; }\n"
+
+
+class TestPromptParsing:
+    def test_direct_prompt_mode_and_vocab(self):
+        parsed = parse(direct_prompt(CODE, "acc"))
+        assert parsed.mode == DIRECT
+        assert parsed.vocabulary == ("correct", "incorrect")
+        assert parsed.flavor == "acc"
+
+    def test_agent_direct_mode(self):
+        parsed = parse(agent_direct_prompt(CODE, "acc", 0, "", "", 0, "", ""))
+        assert parsed.mode == AGENT_DIRECT
+        assert parsed.vocabulary == ("valid", "invalid")
+
+    def test_agent_indirect_mode(self):
+        parsed = parse(agent_indirect_prompt(CODE, "acc", 0, "", "", 0, "", ""))
+        assert parsed.mode == AGENT_INDIRECT
+
+    def test_code_extracted_exactly(self):
+        parsed = parse(direct_prompt(CODE, "acc"))
+        assert parsed.code == CODE.strip()
+
+    def test_omp_flavor_detected(self):
+        omp_code = CODE.replace("acc", "omp").replace("openacc.h", "omp.h")
+        parsed = parse(direct_prompt(omp_code, "omp"))
+        assert parsed.flavor == "omp"
+
+    def test_compile_rc_extracted(self):
+        prompt = agent_direct_prompt(CODE, "acc", 2, "boom [-Wsyntax]", "", None, None, None)
+        parsed = parse(prompt)
+        assert parsed.compile_rc == 2
+        assert "boom" in parsed.compile_stderr
+
+    def test_run_rc_extracted_independently_of_compile_rc(self):
+        prompt = agent_direct_prompt(CODE, "acc", 0, "", "", 139, "Segmentation fault", "")
+        parsed = parse(prompt)
+        assert parsed.compile_rc == 0
+        assert parsed.run_rc == 139
+
+    def test_stderr_section_bounded(self):
+        prompt = agent_direct_prompt(CODE, "acc", 1, "line1\nline2", "OUT", None, None, None)
+        parsed = parse(prompt)
+        assert "line1" in parsed.compile_stderr
+        assert "OUT" not in parsed.compile_stderr
+
+
+class TestBehavioralContracts:
+    def test_compile_failure_never_increases_valid_rate(self):
+        """Across seeds: the same code with a failing compile report must
+        be judged invalid at least as often as with a clean report."""
+        clean_invalid = 0
+        failing_invalid = 0
+        for seed in range(25):
+            model = DeepSeekCoderSim(seed=seed)
+            clean = model.generate(
+                agent_direct_prompt(CODE, "acc", 0, "", "", 0, "", "passed"), attempt=1
+            )
+            failing = model.generate(
+                agent_direct_prompt(
+                    CODE, "acc", 1,
+                    "t.c:1:1: error: expected '}' [-Wunbalanced-brace]",
+                    "", None, None, None,
+                ),
+                attempt=1,
+            )
+            clean_invalid += "JUDGEMENT: invalid" in clean
+            failing_invalid += "JUDGEMENT: invalid" in failing
+        assert failing_invalid > clean_invalid
+
+    def test_environment_errors_mostly_shrugged_off(self):
+        """toolchain-limitation failures carry little weight."""
+        flagged = 0
+        for seed in range(30):
+            model = DeepSeekCoderSim(seed=seed)
+            response = model.generate(
+                agent_direct_prompt(
+                    CODE, "acc", 2,
+                    "t.c: error: internal compiler limitation [-Wtoolchain-limitation]",
+                    "", None, None, None,
+                ),
+                attempt=1,
+            )
+            flagged += "JUDGEMENT: invalid" in response
+        assert flagged < 12  # trust_environment_error = 0.08 (+ static noise)
+
+    def test_indirect_description_reflects_tool_outcome(self):
+        model = DeepSeekCoderSim(seed=5)
+        ok_prompt = agent_indirect_prompt(CODE, "acc", 0, "", "", 0, "", "passed")
+        response = model.generate(ok_prompt, attempt=1)
+        assert "compiler accepted" in response.lower() or "accepted the code" in response.lower()
+
+    def test_vocabulary_followed_in_response(self):
+        model = DeepSeekCoderSim(seed=6)
+        direct_response = model.generate(direct_prompt(CODE, "acc"), attempt=1)
+        assert ("FINAL JUDGEMENT: correct" in direct_response
+                or "FINAL JUDGEMENT: incorrect" in direct_response)
+        agent_response = model.generate(
+            agent_direct_prompt(CODE, "acc", 0, "", "", 0, "", ""), attempt=1
+        )
+        assert ("FINAL JUDGEMENT: valid" in agent_response
+                or "FINAL JUDGEMENT: invalid" in agent_response)

@@ -1,0 +1,72 @@
+"""Stress tests: seeds x mutators over real corpora, and totality of the
+full judging path over arbitrary probe outputs."""
+
+import random
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.suite import TestSuite
+from repro.judge.llmj import AgentLLMJ
+from repro.llm.model import DeepSeekCoderSim
+from repro.probing.mutators import MutationError, mutator_for_issue
+from repro.probing.prober import NegativeProber
+from repro.runtime.executor import Executor
+
+
+@pytest.mark.parametrize("issue", [0, 1, 2, 3, 4])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_mutator_output_differs_and_is_handled(acc_corpus, issue, seed):
+    """Every mutation changes the source, and the toolchain copes."""
+    rng = random.Random(seed)
+    compiler = Compiler(model="acc")
+    executor = Executor(step_limit=500_000)
+    for test in list(acc_corpus)[:6]:
+        mutator = mutator_for_issue(issue)
+        try:
+            mutated = mutator.mutate(test, rng)
+        except MutationError:
+            continue
+        assert mutated.source != test.source or issue == 3
+        compiled = compiler.compile(mutated.source, mutated.name)
+        if compiled.ok:
+            result = executor.run(compiled)
+            assert isinstance(result.returncode, int)
+
+
+def test_mutation_ground_truth_holds_under_reprobing(acc_corpus):
+    """Probing twice with different seeds keeps the invariants: half
+    unchanged, mutants marked 0-4, names tagged."""
+    suite = TestSuite("stress", "acc", list(acc_corpus))
+    for seed in (10, 20, 30):
+        probed = NegativeProber(seed=seed).probe(suite)
+        counts = probed.issue_counts()
+        assert sum(counts.values()) == len(suite)
+        for test in probed:
+            if test.issue in (None, 5):
+                assert "__issue" not in test.name or "__issue5" in test.name
+            else:
+                assert f"__issue{test.issue}" in test.name
+
+
+def test_full_judge_path_total_over_mixed_population():
+    """compile -> run -> prompt -> generate -> parse never raises, for
+    any probe output, including pathological mutants."""
+    files = CorpusGenerator(seed=41).generate("omp", 10, languages=("c",))
+    probed = NegativeProber(seed=42).probe(TestSuite("t", "omp", files))
+    judge = AgentLLMJ(DeepSeekCoderSim(seed=43), "omp", kind="indirect")
+    for test in probed:
+        result = judge.judge(test)
+        assert result.verdict is not None
+        assert "FINAL" in result.response or not result.strict_parse
+
+
+def test_generator_rejects_impossible_validation():
+    """With validation on and templates sabotaged by a absurd step
+    limit, generation fails loudly instead of silently shrinking."""
+    from repro.corpus.generator import CorpusValidationError
+
+    generator = CorpusGenerator(seed=1, step_limit=10)  # nothing can run
+    with pytest.raises(CorpusValidationError):
+        generator.generate("acc", 4, languages=("c",))

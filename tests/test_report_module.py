@@ -1,0 +1,82 @@
+"""Tests for the EXPERIMENTS.md report internals and CLI experiment path."""
+
+import pytest
+
+from repro.experiments import paperdata
+from repro.experiments.report import (
+    _issue_comparison,
+    _match_paper_series,
+    _md_table,
+    _overall_comparison,
+)
+from repro.metrics.accuracy import MetricsReport
+from repro.corpus.generator import TestFile
+from repro.metrics.accuracy import score_evaluations
+
+
+def _measured_report() -> MetricsReport:
+    files = []
+    verdicts = []
+    # fabricate a 6-issue population with known outcomes
+    for issue, (count, correct) in {
+        0: (10, 5), 1: (10, 10), 2: (10, 8), 3: (10, 9), 4: (10, 2), 5: (20, 18)
+    }.items():
+        for i in range(count):
+            files.append(TestFile(f"f{issue}_{i}.c", "c", "acc", "s", "t").with_issue(issue))
+            judged_invalid = i < correct if issue != 5 else i >= (count - correct)
+            verdicts.append(not judged_invalid if issue != 5 else judged_invalid)
+    return score_evaluations("Measured", files, verdicts)
+
+
+class TestMarkdownHelpers:
+    def test_md_table_shape(self):
+        text = _md_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_issue_comparison_has_all_rows(self):
+        text = _issue_comparison(_measured_report(), paperdata.TABLE_I)
+        assert text.count("\n") >= 7  # header + separator + 6 issues
+        assert "no issue" in text
+        assert "%" in text
+
+    def test_overall_comparison_strings(self):
+        lines = _overall_comparison(_measured_report(), paperdata.TABLE_III["acc"])
+        assert any("overall accuracy" in line for line in lines)
+        assert any("bias" in line for line in lines)
+
+    def test_match_paper_series_exact_and_prefix(self):
+        paper = {"Pipeline 1": {"x": 1.0}, "Direct LLMJ": {"x": 0.5}}
+        assert _match_paper_series(paper, "Pipeline 1") == {"x": 1.0}
+        assert _match_paper_series(paper, "Direct") == {"x": 0.5}
+        assert _match_paper_series(paper, "zzz") is None
+
+
+class TestPaperDataFigures:
+    def test_figure_axis_keys_stable(self):
+        for figure in (paperdata.FIGURE_3, paperdata.FIGURE_4):
+            for series in figure.values():
+                assert set(series) == set(paperdata.RADAR_AXES)
+        for figure in (paperdata.FIGURE_5, paperdata.FIGURE_6):
+            for series in figure.values():
+                assert set(series) == set(paperdata.RADAR_AXES_WITH_VALID)
+
+    def test_figure_values_are_fractions(self):
+        for figure in (paperdata.FIGURE_3, paperdata.FIGURE_4,
+                       paperdata.FIGURE_5, paperdata.FIGURE_6):
+            for series in figure.values():
+                for value in series.values():
+                    assert 0.0 <= value <= 1.0
+
+
+class TestCliExperiment:
+    def test_single_tiny_artifact(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["experiment", "table1", "--scale", "tiny", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table I" in out
+        assert "No issue" in out

@@ -1,0 +1,113 @@
+"""Unit tests for semantic analysis."""
+
+from repro.compiler.driver import Compiler
+
+
+def compile_acc(source: str):
+    return Compiler(model="acc").compile(source, "t.c")
+
+
+def compile_omp(source: str, max_version: float = 4.5):
+    return Compiler(model="omp", openmp_max_version=max_version).compile(source, "t.c")
+
+
+class TestUndeclared:
+    def test_undeclared_variable_use(self):
+        result = compile_acc("int main() { x = 1; return 0; }")
+        assert result.has_code("undeclared")
+
+    def test_undeclared_in_expression(self):
+        result = compile_acc("int main() { int a = 1; return a + mystery; }")
+        assert result.has_code("undeclared")
+
+    def test_undeclared_function_call(self):
+        result = compile_acc("int main() { return do_stuff(); }")
+        assert result.has_code("undeclared-function")
+
+    def test_declared_after_use_still_undeclared(self):
+        result = compile_acc("int main() { y = 1; int y; return y; }")
+        assert result.has_code("undeclared")
+
+    def test_block_scoping(self):
+        result = compile_acc(
+            "int main() { { int inner = 1; } return inner; }"
+        )
+        assert result.has_code("undeclared")
+
+    def test_for_loop_variable_scoped_to_loop(self):
+        result = compile_acc(
+            "int main() { for (int i = 0; i < 3; i++) { } return i; }"
+        )
+        assert result.has_code("undeclared")
+
+    def test_params_are_declared(self):
+        result = compile_acc("int f(int x) { return x; }\nint main() { return f(1); }")
+        assert result.ok
+
+    def test_globals_visible_in_functions(self):
+        result = compile_acc("int g = 3;\nint main() { return g; }")
+        assert result.ok
+
+    def test_libc_functions_known(self):
+        result = compile_acc(
+            '#include <stdio.h>\nint main() { printf("hi\\n"); return 0; }'
+        )
+        assert result.ok
+
+    def test_clause_variable_must_be_declared(self):
+        result = compile_acc(
+            "int main() {\n#pragma acc parallel loop copyin(ghost)\n"
+            "for (int i = 0; i < 3; i++) { }\nreturn 0; }"
+        )
+        assert result.has_code("undeclared")
+
+
+class TestMainRequirement:
+    def test_missing_main_is_link_error(self):
+        result = compile_acc("int helper() { return 1; }")
+        assert result.has_code("no-main")
+
+    def test_prototype_only_main_is_link_error(self):
+        result = compile_acc("int main();")
+        assert result.has_code("no-main")
+
+
+class TestDirectiveSemantics:
+    def test_loop_directive_requires_for(self):
+        result = compile_acc(
+            "int main() {\n#pragma acc parallel loop\n{ int x = 1; }\nreturn 0; }"
+        )
+        assert result.has_code("directive-needs-loop")
+
+    def test_loop_directive_stacking_allowed(self):
+        result = compile_omp(
+            "int main() { int s = 0;\n#pragma omp parallel for\n"
+            "for (int i = 0; i < 4; i++) { s += i; }\nreturn 0; }"
+        )
+        assert result.ok
+
+    def test_semantic_info_counts_directives(self, valid_acc_source):
+        result = compile_acc(valid_acc_source)
+        assert result.info.acc_directive_count == 1
+        assert result.info.loop_directive_count == 1
+
+    def test_runtime_calls_recorded(self):
+        result = compile_acc(
+            "#include <openacc.h>\nint main() { acc_init(acc_device_default); return 0; }"
+        )
+        assert "acc_init" in result.info.runtime_calls
+
+    def test_has_main_flag(self, valid_acc_source):
+        result = compile_acc(valid_acc_source)
+        assert result.info.has_main
+
+
+class TestWarnings:
+    def test_redeclaration_warns(self):
+        result = compile_acc("int main() { int a = 1; int a = 2; return a; }")
+        assert result.warning_count >= 1
+        assert result.ok  # warning, not error
+
+    def test_warning_count_in_result(self):
+        result = compile_acc("int main() { int a = 1; int a = 2; return a; }")
+        assert result.warning_count >= 1

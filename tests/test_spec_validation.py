@@ -1,0 +1,188 @@
+"""Unit tests for OpenACC/OpenMP directive validation tables."""
+
+from repro.compiler import openacc_spec, openmp_spec
+from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
+from repro.compiler.pragma import parse_directive
+
+LOC = SourceLocation("t.c", 1, 1)
+
+
+def validate_acc(text: str):
+    diags = DiagnosticEngine()
+    d = parse_directive(text, LOC, diags, openacc_spec.DIRECTIVE_NAMES, openacc_spec.CLAUSE_NAMES)
+    ok = openacc_spec.validate_directive(d, diags) if d else False
+    return ok, diags
+
+
+def validate_omp(text: str, max_version: float = 4.5):
+    diags = DiagnosticEngine()
+    d = parse_directive(text, LOC, diags, openmp_spec.DIRECTIVE_NAMES, openmp_spec.CLAUSE_NAMES)
+    ok = openmp_spec.validate_directive(d, diags, max_version=max_version) if d else False
+    return ok, diags
+
+
+class TestOpenACCValidation:
+    def test_parallel_loop_with_data_clauses_ok(self):
+        ok, diags = validate_acc("#pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])")
+        assert ok and not diags.has_errors
+
+    def test_clause_not_allowed(self):
+        ok, diags = validate_acc("#pragma acc wait copyin(a)")
+        assert not ok
+        assert "clause-not-allowed" in diags.codes()
+
+    def test_data_clause_requires_variable_list(self):
+        ok, diags = validate_acc("#pragma acc data copyin")
+        assert not ok
+        assert "clause-needs-arg" in diags.codes()
+
+    def test_reduction_requires_operator(self):
+        ok, diags = validate_acc("#pragma acc parallel loop reduction(sum)")
+        assert not ok
+        assert "bad-reduction" in diags.codes()
+
+    def test_reduction_bad_operator(self):
+        ok, diags = validate_acc("#pragma acc parallel loop reduction(avg:x)")
+        assert "bad-reduction" in diags.codes()
+
+    def test_reduction_valid_operators(self):
+        for op in ("+", "*", "max", "min", "&&"):
+            ok, diags = validate_acc(f"#pragma acc parallel loop reduction({op}:x)")
+            assert ok, f"operator {op} should validate: {diags.render_stderr()}"
+
+    def test_seq_conflicts_with_gang(self):
+        ok, diags = validate_acc("#pragma acc loop seq gang")
+        assert not ok
+        assert "clause-conflict" in diags.codes()
+
+    def test_atomic_single_kind(self):
+        ok, diags = validate_acc("#pragma acc atomic read write")
+        assert "clause-conflict" in diags.codes()
+
+    def test_enter_data_needs_action_clause(self):
+        ok, diags = validate_acc("#pragma acc enter data if(1)")
+        assert "missing-clause" in diags.codes()
+
+    def test_exit_data_needs_action_clause(self):
+        ok, diags = validate_acc("#pragma acc exit data async")
+        assert "missing-clause" in diags.codes()
+
+    def test_update_needs_direction(self):
+        ok, diags = validate_acc("#pragma acc update async")
+        assert "missing-clause" in diags.codes()
+
+    def test_default_argument_restricted(self):
+        ok, diags = validate_acc("#pragma acc parallel default(everything)")
+        assert "bad-default" in diags.codes()
+
+    def test_default_none_ok(self):
+        ok, _ = validate_acc("#pragma acc parallel default(none)")
+        assert ok
+
+    def test_duplicate_clause_warns(self):
+        _, diags = validate_acc("#pragma acc parallel num_gangs(2) num_gangs(4)")
+        assert diags.warning_count >= 1
+
+    def test_kernels_rejects_private(self):
+        ok, diags = validate_acc("#pragma acc kernels private(x)")
+        assert "clause-not-allowed" in diags.codes()
+
+
+class TestOpenMPValidation:
+    def test_parallel_for_ok(self):
+        ok, diags = validate_omp("#pragma omp parallel for schedule(static) private(x)")
+        assert ok and not diags.has_errors
+
+    def test_target_map_ok(self):
+        ok, _ = validate_omp("#pragma omp target map(tofrom: a[0:N])")
+        assert ok
+
+    def test_bad_map_type(self):
+        ok, diags = validate_omp("#pragma omp target map(sideways: a)")
+        assert "bad-map" in diags.codes()
+
+    def test_release_only_on_exit_data(self):
+        ok, diags = validate_omp("#pragma omp target map(release: a)")
+        assert "bad-map" in diags.codes()
+
+    def test_release_allowed_on_exit_data(self):
+        ok, _ = validate_omp("#pragma omp target exit data map(release: a)")
+        assert ok
+
+    def test_bad_schedule_kind(self):
+        ok, diags = validate_omp("#pragma omp parallel for schedule(whenever)")
+        assert "bad-schedule" in diags.codes()
+
+    def test_schedule_with_chunk(self):
+        ok, _ = validate_omp("#pragma omp parallel for schedule(static, 16)")
+        assert ok
+
+    def test_depend_requires_type(self):
+        ok, diags = validate_omp("#pragma omp task depend(x)")
+        assert "bad-depend" in diags.codes()
+
+    def test_depend_valid(self):
+        ok, _ = validate_omp("#pragma omp task depend(inout: x)")
+        assert ok
+
+    def test_proc_bind_values(self):
+        ok, diags = validate_omp("#pragma omp parallel proc_bind(diagonal)")
+        assert "bad-proc-bind" in diags.codes()
+
+    def test_target_enter_data_needs_map(self):
+        ok, diags = validate_omp("#pragma omp target enter data if(1)")
+        assert "missing-clause" in diags.codes()
+
+    def test_target_update_needs_direction(self):
+        ok, diags = validate_omp("#pragma omp target update if(1)")
+        assert "missing-clause" in diags.codes()
+
+    def test_cancel_needs_construct_type(self):
+        ok, diags = validate_omp("#pragma omp cancel if(1)")
+        assert "missing-clause" in diags.codes()
+
+
+class TestOpenMPVersionGate:
+    def test_post_45_directive_rejected_at_45(self):
+        ok, diags = validate_omp("#pragma omp masked")
+        assert not ok
+        assert "unsupported-feature" in diags.codes()
+
+    def test_loop_directive_is_50(self):
+        ok, diags = validate_omp("#pragma omp loop")
+        assert "unsupported-feature" in diags.codes()
+
+    def test_post_45_accepted_at_51(self):
+        ok, _ = validate_omp("#pragma omp masked", max_version=5.1)
+        assert ok
+
+    def test_taskloop_is_45(self):
+        ok, _ = validate_omp("#pragma omp taskloop")
+        assert ok
+
+    def test_45_rejected_at_40(self):
+        ok, diags = validate_omp("#pragma omp target enter data map(to: a)", max_version=4.0)
+        assert "unsupported-feature" in diags.codes()
+
+
+class TestSpecTables:
+    def test_all_acc_loop_directives_require_loop(self):
+        for name in openacc_spec.LOOP_DIRECTIVES:
+            assert openacc_spec.DIRECTIVES[name].requires_loop
+
+    def test_acc_clause_names_superset_of_allowed(self):
+        for spec in openacc_spec.DIRECTIVES.values():
+            assert spec.allowed <= openacc_spec.CLAUSE_NAMES
+
+    def test_omp_clause_names_superset_of_allowed(self):
+        for spec in openmp_spec.DIRECTIVES.values():
+            assert spec.allowed <= openmp_spec.CLAUSE_NAMES
+
+    def test_omp_combined_directives_cover_components(self):
+        combined = openmp_spec.DIRECTIVES["target teams distribute parallel for"]
+        assert "map" in combined.allowed
+        assert "num_teams" in combined.allowed
+        assert "schedule" in combined.allowed
+
+    def test_runtime_function_tables_disjoint(self):
+        assert not (openacc_spec.RUNTIME_FUNCTIONS & openmp_spec.RUNTIME_FUNCTIONS)

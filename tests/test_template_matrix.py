@@ -1,0 +1,55 @@
+"""Exhaustive template validation: every (template, model, language)
+combination must render a test that compiles clean and exits 0.
+
+This is the corpus's ground-truth guarantee: a "valid" file that fails
+its own toolchain would poison every negative-probing experiment.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.corpus.templates import TEMPLATES, TemplateContext
+from repro.runtime.executor import Executor
+
+MATRIX = [
+    (spec, model, language)
+    for spec in TEMPLATES
+    for model in spec.models
+    for language in spec.languages
+]
+
+
+@pytest.mark.parametrize(
+    "spec,model,language",
+    MATRIX,
+    ids=[f"{s.name}-{m}-{l}" for s, m, l in MATRIX],
+)
+def test_template_combination_is_valid(spec, model, language):
+    rng = random.Random(91)
+    ctx = TemplateContext(rng=rng, model=model, language=language)
+    source = spec.render(ctx)
+    ext = {"c": ".c", "cpp": ".cpp", "f90": ".f90"}[language]
+    compiled = Compiler(model=model).compile(source, f"t{ext}")
+    assert compiled.ok, f"{spec.name}/{model}/{language}: {compiled.stderr}"
+    result = Executor().run(compiled)
+    assert result.returncode == 0, (
+        f"{spec.name}/{model}/{language}: rc={result.returncode} {result.stderr}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_template_parameter_jitter_stays_valid(seed):
+    """Randomized parameters must never break template validity."""
+    rng = random.Random(seed)
+    spec = rng.choice(TEMPLATES)
+    model = rng.choice(spec.models)
+    language = rng.choice(spec.languages)
+    ctx = TemplateContext(rng=rng, model=model, language=language)
+    source = spec.render(ctx)
+    compiled = Compiler(model=model).compile(
+        source, f"t.{ {'c': 'c', 'cpp': 'cpp', 'f90': 'f90'}[language] }"
+    )
+    assert compiled.ok, f"{spec.name}: {compiled.stderr}"
+    assert Executor().run(compiled).returncode == 0
