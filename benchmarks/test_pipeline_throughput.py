@@ -1,14 +1,20 @@
 """EXP-PIPE — §III-C claims: staging and early exit cut wasted work.
 
-Two benches:
+Three benches:
 
 * worker-count scaling of the staged pipeline (parametrized 1/2/4);
 * the early-exit ablation, asserting the judge-invocation savings the
-  paper's pipeline design argues for.
+  paper's pipeline design argues for;
+* the content-addressed cache: a warm ``Experiments.all_tables()`` run
+  must beat a cold one by >= 2x while producing byte-identical tables.
 """
+
+import time
 
 import pytest
 
+from repro.cache.bundle import PipelineCache
+from repro.experiments import ExperimentConfig, Experiments
 from repro.llm.model import DeepSeekCoderSim
 from repro.pipeline.engine import PipelineConfig, ValidationPipeline
 
@@ -78,3 +84,46 @@ def test_early_exit_saves_judge_invocations(benchmark, bench_population, emit_ar
     for rec_all, rec_early in zip(record_all.records, early.records):
         if rec_all.compiled and rec_all.ran_clean:
             assert rec_all.pipeline_says_valid == rec_early.pipeline_says_valid
+
+
+def test_result_cache_warm_run_speedup(emit_artifact):
+    """Warm (cached) table regeneration vs cold, on fresh instances.
+
+    Two :class:`Experiments` instances with the same configuration
+    share one :class:`PipelineCache`; the second must reuse every
+    compile/execute/judge artifact instead of recomputing, making the
+    run >= 2x faster with byte-identical table text.  (Cold vs warm is
+    one-shot by nature, so this times explicitly instead of using the
+    repeating ``benchmark`` fixture.)
+    """
+    config = ExperimentConfig(scale="tiny", cache_enabled=True)
+    cache = PipelineCache()
+
+    t0 = time.perf_counter()
+    cold_tables = Experiments(config, cache=cache).all_tables()
+    cold_seconds = time.perf_counter() - t0
+    cold_misses = cache.misses
+
+    t0 = time.perf_counter()
+    warm_tables = Experiments(config, cache=cache).all_tables()
+    warm_seconds = time.perf_counter() - t0
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    emit_artifact(
+        "pipeline_cache_warm_vs_cold",
+        "\n".join(
+            [
+                "Content-addressed cache: Experiments.all_tables(), tiny scale:",
+                f"  cold run:   {cold_seconds:7.2f} s ({cold_misses} cache misses)",
+                f"  warm run:   {warm_seconds:7.2f} s ({cache.hits} cache hits)",
+                f"  speedup:    {speedup:7.1f}x",
+            ]
+        ),
+    )
+
+    assert [t.text for t in warm_tables] == [t.text for t in cold_tables]
+    assert cache.hits > 0
+    assert cold_seconds >= 2.0 * warm_seconds, (
+        f"warm run only {speedup:.2f}x faster "
+        f"(cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s)"
+    )

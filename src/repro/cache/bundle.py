@@ -1,0 +1,83 @@
+"""The pipeline-wide cache bundle.
+
+:class:`PipelineCache` groups one :class:`ResultCache` per cacheable
+stage kind:
+
+* ``compile`` — memory-only (values carry live AST objects);
+* ``execute`` — persistent (plain :class:`ExecutionResult` data);
+* ``judge``  — persistent (:class:`JudgeResult` round-trips via JSON).
+
+One bundle is shared by every consumer of a run — corpus generation,
+the validation pipeline's stages, the experiment runner's retroactive
+judge pass — so repeated work de-duplicates across all of them, and
+across :class:`Experiments` instances when callers share the bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.cache.store import Codec, ResultCache
+from repro.judge.llmj import JudgeResult
+from repro.runtime.executor import ExecutionResult
+
+_EXECUTION_CODEC = Codec(
+    encode=lambda result: asdict(result),
+    decode=lambda data: ExecutionResult(**data),
+)
+
+_JUDGE_CODEC = Codec(
+    encode=lambda result: result.to_json(),
+    decode=JudgeResult.from_json,
+)
+
+
+class PipelineCache:
+    """Shared content-addressed caches for compile/execute/judge work."""
+
+    def __init__(self, max_entries: int = 65536, cache_dir: str | Path | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.compile = ResultCache("compile", max_entries)
+        self.execute = ResultCache("execute", max_entries, codec=_EXECUTION_CODEC)
+        self.judge = ResultCache("judge", max_entries, codec=_JUDGE_CODEC)
+
+    @property
+    def namespaces(self) -> list[ResultCache]:
+        return [self.compile, self.execute, self.judge]
+
+    # ------------------------------------------------------------------
+
+    def load(self) -> int:
+        """Warm persistent namespaces from ``cache_dir``; returns count."""
+        if self.cache_dir is None:
+            return 0
+        return sum(ns.load_from(self.cache_dir) for ns in self.namespaces)
+
+    def save(self) -> list[Path]:
+        """Persist codec-backed namespaces to ``cache_dir``."""
+        if self.cache_dir is None:
+            return []
+        paths = [ns.save_to(self.cache_dir) for ns in self.namespaces]
+        return [path for path in paths if path is not None]
+
+    def clear(self) -> None:
+        for ns in self.namespaces:
+            ns.clear()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(ns.hits for ns in self.namespaces)
+
+    @property
+    def misses(self) -> int:
+        return sum(ns.misses for ns in self.namespaces)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "namespaces": {ns.name: ns.snapshot() for ns in self.namespaces},
+        }

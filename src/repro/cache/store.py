@@ -1,0 +1,154 @@
+"""The result store: a thread-safe LRU with optional JSON persistence.
+
+:class:`ResultCache` holds arbitrary Python values in memory under
+content-addressed keys (see :mod:`repro.cache.keys`).  Namespaces whose
+values round-trip through JSON can attach a :class:`Codec`, which
+enables :meth:`save_to` / :meth:`load_from` — the on-disk warm-start
+path used by the CLI's ``--cache-dir``.  Namespaces without a codec
+(the compile cache, whose values carry live AST objects) stay
+memory-only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Codec:
+    """Value (de)serialisation for disk persistence."""
+
+    encode: Callable[[Any], Any]  # value -> JSON-able object
+    decode: Callable[[Any], Any]  # JSON-able object -> value
+
+
+class ResultCache:
+    """Bounded LRU mapping content keys to stage results.
+
+    Thread-safe; eviction is least-recently-*used* (a ``get`` refreshes
+    recency).  Hit/miss/eviction counters feed the CLI's cache summary.
+    """
+
+    def __init__(self, name: str, max_entries: int = 65536, codec: Codec | None = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.name = name
+        self.max_entries = max_entries
+        self.codec = codec
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        The compute runs outside the lock: concurrent misses may both
+        compute (results are deterministic, so last-write-wins is safe).
+        """
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    # ------------------------------------------------------------------
+    # disk persistence (codec namespaces only)
+    # ------------------------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        return self.codec is not None
+
+    def save_to(self, directory: str | Path) -> Path | None:
+        """Write all entries to ``<directory>/<name>.json`` (atomic).
+
+        An unwritable destination (e.g. a path naming an existing file)
+        loses persistence, never the run: returns None instead of
+        raising, mirroring :meth:`load_from`'s corrupt-file tolerance.
+        """
+        if self.codec is None:
+            return None
+        directory = Path(directory)
+        try:
+            with self._lock:
+                payload = {
+                    key: self.codec.encode(value) for key, value in self._entries.items()
+                }
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{self.name}.json"
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+        except (OSError, TypeError, ValueError):
+            return None
+        return path
+
+    def load_from(self, directory: str | Path) -> int:
+        """Merge entries from ``<directory>/<name>.json``; returns count.
+
+        Corrupt or unreadable files are treated as a cold cache, never
+        an error — a cache must not be able to break a run.
+        """
+        if self.codec is None:
+            return 0
+        path = Path(directory) / f"{self.name}.json"
+        if not path.exists():
+            return 0
+        try:
+            payload = json.loads(path.read_text())
+            decoded = {key: self.codec.decode(raw) for key, raw in payload.items()}
+        except (json.JSONDecodeError, OSError, KeyError, TypeError, ValueError):
+            return 0
+        for key, value in decoded.items():
+            self.put(key, value)
+        return len(decoded)

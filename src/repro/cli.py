@@ -23,12 +23,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_cache_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="persist execute/judge results as JSON under DIR "
+                 "(warm-starts later runs)",
+        )
+        sub_parser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable content-addressed result caching",
+        )
+
     p_validate = sub.add_parser("validate", help="validate candidate test files")
     p_validate.add_argument("files", nargs="+", help="source files to validate")
     p_validate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
     p_validate.add_argument("--judge", choices=("direct", "indirect"), default="direct")
     p_validate.add_argument("--no-early-exit", action="store_true")
     p_validate.add_argument("--workers", type=int, default=2)
+    add_cache_flags(p_validate)
 
     p_generate = sub.add_parser("generate", help="generate a synthetic V&V corpus")
     p_generate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
@@ -46,10 +58,12 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("artifact", help="table1..table9, fig3..fig6, or 'all'")
     p_exp.add_argument("--scale", choices=("paper", "small", "tiny"), default="small")
     p_exp.add_argument("--seed", type=int, default=20240822)
+    add_cache_flags(p_exp)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--scale", choices=("paper", "small", "tiny"), default="paper")
     p_report.add_argument("--out", default="EXPERIMENTS.md")
+    add_cache_flags(p_report)
 
     args = parser.parse_args(argv)
     return _dispatch(args)
@@ -69,17 +83,43 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces choices
 
 
+def _make_cache(args: argparse.Namespace):
+    """Build the PipelineCache an invocation asked for (or None)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.cache.bundle import PipelineCache
+
+    cache = PipelineCache(cache_dir=getattr(args, "cache_dir", None))
+    loaded = cache.load()
+    if loaded:
+        print(f"cache: warm-started {loaded} entries from {args.cache_dir}")
+    return cache
+
+
+def _finish_cache(cache) -> None:
+    """Persist (if configured) and summarise cache effectiveness."""
+    if cache is None:
+        return
+    cache.save()
+    parts = ", ".join(
+        f"{ns.name} {ns.hits}/{ns.hits + ns.misses}" for ns in cache.namespaces
+    )
+    print(f"cache: {cache.hits} hits, {cache.misses} misses ({parts})")
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core import TestsuiteValidator
 
     sources = {}
     for path in args.files:
         sources[Path(path).name] = Path(path).read_text()
+    cache = _make_cache(args)
     validator = TestsuiteValidator(
         flavor=args.flavor,
         judge_kind=args.judge,
         early_exit=not args.no_early_exit,
         workers=args.workers,
+        cache=cache,
     )
     report = validator.validate_sources(sources)
     for judged in report.files:
@@ -87,6 +127,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"[{marker}] {judged.name} ({judged.stage}): {judged.reason}")
     summary = report.summary()
     print(f"\n{summary['valid']}/{summary['total']} files judged valid")
+    _finish_cache(cache)
     return 0 if not report.invalid_files else 1
 
 
@@ -120,7 +161,13 @@ def _cmd_probe(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, Experiments
 
-    exp = Experiments(ExperimentConfig(scale=args.scale, seed=args.seed))
+    cache = _make_cache(args)
+    exp = Experiments(
+        ExperimentConfig(
+            scale=args.scale, seed=args.seed, cache_enabled=cache is not None
+        ),
+        cache=cache,
+    )
     names = (
         [f"table{i}" for i in range(1, 10)] + [f"fig{i}" for i in range(3, 7)]
         if args.artifact == "all"
@@ -133,6 +180,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             return 2
         print(method().text)
         print()
+    _finish_cache(cache)
     return 0
 
 
@@ -140,9 +188,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, Experiments
     from repro.experiments.report import write_experiments_md
 
-    exp = Experiments(ExperimentConfig(scale=args.scale))
+    cache = _make_cache(args)
+    exp = Experiments(
+        ExperimentConfig(scale=args.scale, cache_enabled=cache is not None),
+        cache=cache,
+    )
     path = write_experiments_md(exp, args.out)
     print(f"wrote {path}")
+    _finish_cache(cache)
     return 0
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache.keys import compile_key
 from repro.compiler import astnodes as ast
 from repro.compiler.cparser import Parser
 from repro.compiler.diagnostics import DiagnosticEngine, TooManyErrors
@@ -52,6 +53,10 @@ class CompileResult:
     diagnostic_codes: list[str] = field(default_factory=list)
     error_count: int = 0
     warning_count: int = 0
+    #: content address of (toolchain fingerprint, filename, source);
+    #: empty for results built outside a Compiler (tests, environment
+    #: substitutions) — downstream caches skip such results.
+    content_key: str = ""
 
     @property
     def ok(self) -> bool:
@@ -85,6 +90,10 @@ class Compiler:
     @property
     def name(self) -> str:
         return "nvc (simulated)" if self.model == "acc" else "clang -fopenmp (simulated)"
+
+    def fingerprint(self) -> str:
+        """Configuration identity for content-addressed caching."""
+        return f"compiler:{self.model}:{self.openmp_max_version}"
 
     def language_macros(self) -> dict[str, str]:
         macros = {"__LINE__": "0", "__STDC__": "1"}
@@ -126,6 +135,7 @@ class Compiler:
         stderr = diags.render_stderr()
         returncode = 0 if not diags.has_errors else (1 if diags.error_count < diags.error_limit else 2)
         return CompileResult(
+            content_key=compile_key(self.fingerprint(), filename, source),
             returncode=returncode,
             stdout="",
             stderr=stderr,

@@ -92,6 +92,9 @@ class TestsuiteValidator:
         compile or execute.  On by default, as in §III-C.
     workers:
         Worker count applied to the compile and execute pools.
+    cache:
+        Optional :class:`repro.cache.bundle.PipelineCache`; repeated
+        validations of unchanged sources reuse compile/run/judge work.
     """
 
     __test__ = False
@@ -106,6 +109,7 @@ class TestsuiteValidator:
         model_seed: int = 20240822,
         openmp_max_version: float = 4.5,
         model: DeepSeekCoderSim | None = None,
+        cache=None,
     ):
         self.config = PipelineConfig(
             flavor=flavor,
@@ -117,7 +121,7 @@ class TestsuiteValidator:
             model_seed=model_seed,
             openmp_max_version=openmp_max_version,
         )
-        self.pipeline = ValidationPipeline(self.config, model=model)
+        self.pipeline = ValidationPipeline(self.config, model=model, cache=cache)
 
     # ------------------------------------------------------------------
 

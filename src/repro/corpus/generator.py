@@ -64,12 +64,19 @@ class CorpusValidationError(Exception):
 
 @dataclass
 class CorpusGenerator:
-    """Seeded generator over the template registry."""
+    """Seeded generator over the template registry.
+
+    ``cache`` (a :class:`repro.cache.bundle.PipelineCache`) makes the
+    per-file validation compile/run content-addressed: regenerating the
+    same corpus — the common case across experiment instances — reuses
+    every check result instead of re-interpreting each program.
+    """
 
     seed: int = 1234
     validate: bool = True
     step_limit: int = 3_000_000
     openmp_max_version: float = 4.5
+    cache: object | None = None
     _validation_failures: list[str] = field(default_factory=list)
 
     def generate(
@@ -89,6 +96,11 @@ class CorpusGenerator:
         rng.shuffle(pool)
         compiler = Compiler(model=model, openmp_max_version=self.openmp_max_version)
         executor = Executor(step_limit=self.step_limit)
+        if self.cache is not None:
+            from repro.cache.wrappers import CachingCompiler, CachingExecutor
+
+            compiler = CachingCompiler(compiler, self.cache.compile)
+            executor = CachingExecutor(executor, self.cache.execute)
         out: list[TestFile] = []
         attempts = 0
         idx = 0

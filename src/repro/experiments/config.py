@@ -42,10 +42,22 @@ class ExperimentConfig:
     compile_workers: int = 2
     execute_workers: int = 2
     judge_workers: int = 2
+    #: content-addressed result caching (see repro.cache): reuses
+    #: compile/execute/judge artifacts within and across runs
+    cache_enabled: bool = True
+    #: directory for JSON persistence of the execute/judge namespaces
+    #: (None = in-memory only)
+    cache_dir: str | None = None
+    #: LRU bound per cache namespace
+    cache_max_entries: int = 65536
 
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
             raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {self.scale!r}")
+        if self.cache_max_entries < 1:
+            raise ValueError(
+                f"cache_max_entries must be >= 1, got {self.cache_max_entries}"
+            )
 
     # population sizes -----------------------------------------------------
 

@@ -18,8 +18,11 @@ print paper-vs-measured side by side.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
+from repro.cache.bundle import PipelineCache
+from repro.cache.wrappers import CachingDirectJudge
 from repro.corpus.generator import CorpusGenerator
 from repro.corpus.suite import TestSuite
 from repro.experiments import paperdata
@@ -31,7 +34,7 @@ from repro.experiments.config import (
     ExperimentConfig,
 )
 from repro.experiments.environment import EnvironmentModel
-from repro.judge.llmj import AgentLLMJ, DirectLLMJ
+from repro.judge.llmj import DirectLLMJ
 from repro.llm.model import DeepSeekCoderSim
 from repro.metrics.accuracy import EvaluationSet, MetricsReport
 from repro.metrics.radar import RadarSeries, radar_series
@@ -41,6 +44,8 @@ from repro.metrics.tables import (
     render_overall_table,
 )
 from repro.pipeline.engine import PipelineConfig, PipelineResult, ValidationPipeline
+from repro.pipeline.scheduler import run_stage
+from repro.pipeline.stages import BatchJudgeStage, JudgeTask
 from repro.probing.prober import NegativeProber, ProbingSuite
 
 
@@ -83,14 +88,40 @@ class _Part2Run:
 
 
 class Experiments:
-    """Lazily-cached reproduction of every table and figure."""
+    """Lazily-cached reproduction of every table and figure.
 
-    def __init__(self, config: ExperimentConfig | None = None):
+    ``cache`` is the content-addressed result store shared by corpus
+    generation, the validation pipeline and the judge sweeps.  Passing
+    the same :class:`PipelineCache` to several instances (or persisting
+    it via ``config.cache_dir``) turns repeated runs of the same
+    configuration from O(corpus) into O(cache-miss).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        cache: PipelineCache | None = None,
+    ):
         self.config = config or ExperimentConfig()
+        if cache is not None:
+            self.cache: PipelineCache | None = cache
+        elif self.config.cache_enabled:
+            self.cache = PipelineCache(
+                max_entries=self.config.cache_max_entries,
+                cache_dir=self.config.cache_dir,
+            )
+            self.cache.load()
+        else:
+            self.cache = None
         self.model = DeepSeekCoderSim(seed=self.config.model_seed)
         self._part1_reports: dict[str, MetricsReport] = {}
         self._part1_populations: dict[str, ProbingSuite] = {}
         self._part2_runs: dict[str, _Part2Run] = {}
+
+    def save_cache(self) -> None:
+        """Persist the cache's codec namespaces (no-op without cache_dir)."""
+        if self.cache is not None:
+            self.cache.save()
 
     # ------------------------------------------------------------------
     # population construction
@@ -103,11 +134,14 @@ class Experiments:
             seed=self.config.seed,
             openmp_max_version=self.config.openmp_max_version,
             step_limit=self.config.step_limit,
+            cache=self.cache,
         )
         files = generator.generate(flavor, count, languages=languages)
         suite = TestSuite(f"{flavor}-{tag}", flavor, files)
         prober = NegativeProber(
-            seed=self.config.seed + hash(tag) % 1000,
+            # crc32, not hash(): populations must reproduce across
+            # processes regardless of PYTHONHASHSEED
+            seed=self.config.seed + zlib.crc32(tag.encode()) % 1000,
             issue_weights=dict(weights),
             random_code_valid_fraction=self.config.random_code_valid_fraction,
         )
@@ -136,9 +170,12 @@ class Experiments:
         if flavor not in self._part1_reports:
             population = self.part1_population(flavor)
             judge = DirectLLMJ(self.model, flavor)
+            if self.cache is not None:
+                judge = CachingDirectJudge(judge, self.cache.judge)
             verdicts = [judge.judge(test).says_valid for test in population]
             evals = EvaluationSet.from_records(list(population), verdicts)
             self._part1_reports[flavor] = MetricsReport.from_evaluations("Direct LLMJ", evals)
+            self.save_cache()  # newly computed artifacts reach cache_dir
         return self._part1_reports[flavor]
 
     # ------------------------------------------------------------------
@@ -174,17 +211,31 @@ class Experiments:
             ),
             model=self.model,
             environment=environment,
+            cache=self.cache,
         )
         files = list(population)
         result = pipeline.run(files)
 
-        judge2 = AgentLLMJ(self.model, flavor, kind="indirect")
+        # Retroactive LLMJ-2 pass, batched through the generic scheduler
+        # (a judge worker pool instead of a serial loop).
+        tasks = [
+            JudgeTask(index=i, test=record.test, report=record.tool_report())
+            for i, record in enumerate(result.records)
+        ]
+        judge2_stage = BatchJudgeStage(
+            self.model, flavor, kind="indirect",
+            workers=self.config.judge_workers, cache=self.cache,
+        )
+        sweep = run_stage(judge2_stage, tasks)
+        sweep.raise_first("LLMJ-2 sweep")
+        judged2_by_index = {task.index: task.result for task in sweep.finished}
+
         llmj2_verdicts: list[bool] = []
         pipeline2_verdicts: list[bool] = []
         llmj1_verdicts: list[bool] = []
         pipeline1_verdicts: list[bool] = []
-        for record in result.records:
-            judged2 = judge2.judge(record.test, record.tool_report())
+        for i, record in enumerate(result.records):
+            judged2 = judged2_by_index[i]
             llmj2_verdicts.append(judged2.says_valid)
             stage_ok = record.compiled and record.ran_clean
             pipeline2_verdicts.append(stage_ok and judged2.says_valid)
@@ -210,6 +261,7 @@ class Experiments:
             ),
         )
         self._part2_runs[key] = run
+        self.save_cache()  # newly computed artifacts reach cache_dir
         return run
 
     # ------------------------------------------------------------------

@@ -48,6 +48,59 @@ class JudgeResult:
 
         return simulated_call_seconds(self.prompt_tokens, self.completion_tokens)
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (cache disk persistence)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        report = self.tool_report
+        return {
+            "test_name": self.test_name,
+            "verdict": self.verdict.value if self.verdict is not None else None,
+            "response": self.response,
+            "prompt_mode": self.prompt_mode,
+            "attempts": self.attempts,
+            "strict_parse": self.strict_parse,
+            "tool_report": None if report is None else {
+                "compile_rc": report.compile_rc,
+                "compile_stderr": report.compile_stderr,
+                "compile_stdout": report.compile_stdout,
+                "run_rc": report.run_rc,
+                "run_stderr": report.run_stderr,
+                "run_stdout": report.run_stdout,
+                "diagnostic_codes": list(report.diagnostic_codes),
+            },
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JudgeResult":
+        raw_report = data.get("tool_report")
+        report = None
+        if raw_report is not None:
+            report = ToolReport(
+                compile_rc=raw_report["compile_rc"],
+                compile_stderr=raw_report["compile_stderr"],
+                compile_stdout=raw_report["compile_stdout"],
+                run_rc=raw_report["run_rc"],
+                run_stderr=raw_report["run_stderr"],
+                run_stdout=raw_report["run_stdout"],
+                diagnostic_codes=tuple(raw_report["diagnostic_codes"]),
+            )
+        verdict = data["verdict"]
+        return cls(
+            test_name=data["test_name"],
+            verdict=None if verdict is None else Verdict(verdict),
+            response=data["response"],
+            prompt_mode=data["prompt_mode"],
+            attempts=data["attempts"],
+            strict_parse=data["strict_parse"],
+            tool_report=report,
+            prompt_tokens=data["prompt_tokens"],
+            completion_tokens=data["completion_tokens"],
+        )
+
 
 class _JudgeBase:
     def __init__(self, model: DeepSeekCoderSim, flavor: str, max_retries: int = 2):
@@ -78,6 +131,13 @@ class DirectLLMJ(_JudgeBase):
     """Part One's tool-less judge (direct-analysis prompt, Listing 3)."""
 
     mode = "direct"
+
+    def fingerprint(self) -> str:
+        """Configuration identity for content-addressed caching."""
+        return (
+            f"direct:{self.flavor}:{self.model.seed}"
+            f":{self.model.max_context_tokens}:{self.max_retries}"
+        )
 
     def judge(self, test: TestFile) -> JudgeResult:
         prompt = direct_prompt(test.source, self.flavor)
@@ -117,6 +177,13 @@ class AgentLLMJ(_JudgeBase):
     @property
     def mode(self) -> str:
         return f"agent-{self.kind}"
+
+    def fingerprint(self) -> str:
+        """Configuration identity for content-addressed caching."""
+        return (
+            f"agent:{self.kind}:{self.flavor}:{self.model.seed}"
+            f":{self.model.max_context_tokens}:{self.max_retries}"
+        )
 
     def build_prompt(self, test: TestFile, report: ToolReport) -> str:
         builder = agent_direct_prompt if self.kind == "direct" else agent_indirect_prompt

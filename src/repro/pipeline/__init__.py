@@ -15,6 +15,22 @@ from repro.pipeline.engine import (
     PipelineResult,
     ValidationPipeline,
 )
+from repro.pipeline.scheduler import (
+    SchedulerResult,
+    StageError,
+    StageScheduler,
+    run_stage,
+)
+from repro.pipeline.stages import (
+    BatchJudgeStage,
+    CompileStage,
+    ExecuteStage,
+    JudgeStage,
+    JudgeTask,
+    PipelineItem,
+    Stage,
+    StageOutcome,
+)
 from repro.pipeline.stats import PipelineStats, StageStats
 
 __all__ = [
@@ -24,4 +40,16 @@ __all__ = [
     "ValidationPipeline",
     "PipelineStats",
     "StageStats",
+    "Stage",
+    "StageOutcome",
+    "StageScheduler",
+    "SchedulerResult",
+    "StageError",
+    "run_stage",
+    "CompileStage",
+    "ExecuteStage",
+    "JudgeStage",
+    "BatchJudgeStage",
+    "JudgeTask",
+    "PipelineItem",
 ]

@@ -1,7 +1,7 @@
 """The staged, parallel validation pipeline.
 
-Three worker pools connected by bounded queues (classic
-producer/consumer with sentinel shutdown):
+Three declarative stages connected by the generic
+:class:`~repro.pipeline.scheduler.StageScheduler`:
 
 .. code-block:: text
 
@@ -13,24 +13,24 @@ Part Two experiments can score judge-only and pipeline verdicts from
 one pass.  Bounded queues give back-pressure; per-stage worker counts
 are independent knobs (the paper's §III-C: compile and execute pools,
 an LLM stage sized to GPU availability).
+
+The scheduler owns threading, shutdown and stats; the stages
+(:mod:`repro.pipeline.stages`) own per-file policy; and an optional
+:class:`~repro.cache.bundle.PipelineCache` fronts the compile and
+judge workhorses with content-addressed result reuse.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
 from dataclasses import dataclass, field
 
-from repro.compiler.driver import Compiler
 from repro.corpus.generator import TestFile
 from repro.judge.agent import ToolReport
-from repro.judge.llmj import AgentLLMJ, JudgeResult
+from repro.judge.llmj import JudgeResult
 from repro.llm.model import DeepSeekCoderSim
+from repro.pipeline.scheduler import StageScheduler
+from repro.pipeline.stages import CompileStage, ExecuteStage, JudgeStage
 from repro.pipeline.stats import PipelineStats
-from repro.runtime.executor import ExecutionResult, Executor
-
-_SENTINEL = object()
 
 
 @dataclass(frozen=True)
@@ -112,19 +112,24 @@ class PipelineRecord:
 class PipelineResult:
     records: list[PipelineRecord] = field(default_factory=list)
     stats: PipelineStats = field(default_factory=PipelineStats)
+    _index: dict[str, PipelineRecord] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def record_for(self, name: str) -> PipelineRecord | None:
-        for record in self.records:
-            if record.test.name == name:
-                return record
-        return None
+        """O(1) lookup by test name (index built lazily, kept fresh)."""
+        if self._index is None or len(self._index) != len(self.records):
+            self._index = {record.test.name: record for record in self.records}
+        return self._index.get(name)
 
 
 class ValidationPipeline:
     """Run files through compile → execute → judge with thread pools.
 
     ``environment`` optionally post-processes compile results (see
-    :class:`repro.experiments.environment.EnvironmentModel`).
+    :class:`repro.experiments.environment.EnvironmentModel`); ``cache``
+    optionally fronts the compile, execute and judge workhorses with
+    the content-addressed :class:`~repro.cache.bundle.PipelineCache`.
     """
 
     def __init__(
@@ -132,130 +137,40 @@ class ValidationPipeline:
         config: PipelineConfig,
         model: DeepSeekCoderSim | None = None,
         environment=None,
+        cache=None,
     ):
         self.config = config
         self.model = model or DeepSeekCoderSim(seed=config.model_seed)
         self.environment = environment
+        self.cache = cache
+
+    def stages(self) -> list:
+        """The declarative stage chain (override point for new kinds)."""
+        return [
+            CompileStage(self.config, environment=self.environment, cache=self.cache),
+            ExecuteStage(self.config, cache=self.cache),
+            JudgeStage(self.config, self.model, cache=self.cache),
+        ]
 
     # ------------------------------------------------------------------
 
     def run(self, files: list[TestFile]) -> PipelineResult:
-        cfg = self.config
         result = PipelineResult()
         result.stats.files_total = len(files)
-        results_lock = threading.Lock()
 
-        compile_q: queue.Queue = queue.Queue(maxsize=cfg.queue_capacity)
-        execute_q: queue.Queue = queue.Queue(maxsize=cfg.queue_capacity)
-        judge_q: queue.Queue = queue.Queue(maxsize=cfg.queue_capacity)
-
-        def finish(record: PipelineRecord) -> None:
-            with results_lock:
-                result.records.append(record)
-
-        # ------------------------------------------------ compile stage
-        def compile_worker() -> None:
-            compiler = Compiler(model=cfg.flavor, openmp_max_version=cfg.openmp_max_version)
-            while True:
-                item = compile_q.get()
-                if item is _SENTINEL:
-                    compile_q.task_done()
-                    return
-                test: TestFile = item
-                t0 = time.perf_counter()
-                compiled = compiler.compile(test.source, test.name)
-                if self.environment is not None:
-                    compiled = self.environment.apply(test, compiled)
-                busy = time.perf_counter() - t0
-                record = PipelineRecord(
-                    test=test,
-                    compile_rc=compiled.returncode,
-                    compile_stderr=compiled.stderr,
-                    diagnostic_codes=tuple(compiled.diagnostic_codes),
-                )
-                result.stats.compile.record(compiled.ok, busy, busy)
-                if compiled.ok:
-                    execute_q.put((record, compiled))
-                elif cfg.early_exit:
-                    result.stats.execute.record_skip()
-                    result.stats.judge.record_skip()
-                    finish(record)
-                else:
-                    # record-all: judge sees the failed compile via its prompt
-                    judge_q.put(record)
-                compile_q.task_done()
-
-        # ------------------------------------------------ execute stage
-        def execute_worker() -> None:
-            executor = Executor(step_limit=cfg.step_limit)
-            while True:
-                item = execute_q.get()
-                if item is _SENTINEL:
-                    execute_q.task_done()
-                    return
-                record, compiled = item
-                t0 = time.perf_counter()
-                executed: ExecutionResult = executor.run(compiled)
-                busy = time.perf_counter() - t0
-                record.run_rc = executed.returncode
-                record.run_stderr = executed.stderr
-                record.run_stdout = executed.stdout
-                result.stats.execute.record(executed.ok, busy, busy)
-                if executed.ok or not cfg.early_exit:
-                    judge_q.put(record)
-                else:
-                    result.stats.judge.record_skip()
-                    finish(record)
-                execute_q.task_done()
-
-        # ------------------------------------------------ judge stage
-        def judge_worker() -> None:
-            judge = AgentLLMJ(self.model, cfg.flavor, kind=cfg.judge_kind)
-            while True:
-                item = judge_q.get()
-                if item is _SENTINEL:
-                    judge_q.task_done()
-                    return
-                record: PipelineRecord = item
-                t0 = time.perf_counter()
-                judged = judge.judge(record.test, record.tool_report())
-                busy = time.perf_counter() - t0
-                record.judge_result = judged
-                result.stats.judge.record(
-                    judged.says_valid, busy, judged.simulated_seconds
-                )
-                finish(record)
-                judge_q.task_done()
-
-        started = time.perf_counter()
-        compile_pool = _spawn(compile_worker, cfg.compile_workers)
-        execute_pool = _spawn(execute_worker, cfg.execute_workers)
-        judge_pool = _spawn(judge_worker, cfg.judge_workers)
-
-        for test in files:
-            compile_q.put(test)
-        _drain(compile_q, compile_pool)
-        _drain(execute_q, execute_pool)
-        _drain(judge_q, judge_pool)
-        result.stats.wall_seconds = time.perf_counter() - started
+        stages = self.stages()
+        scheduler = StageScheduler(
+            stages,
+            queue_capacity=self.config.queue_capacity,
+            stats={stage.name: result.stats.for_stage(stage.name) for stage in stages},
+        )
+        run = scheduler.run(files)
+        run.raise_first("validation pipeline")
+        result.stats.wall_seconds = run.wall_seconds
 
         # deterministic output order regardless of thread interleaving
         order = {test.name: i for i, test in enumerate(files)}
-        result.records.sort(key=lambda r: order.get(r.test.name, 1 << 30))
+        records = [item.record for item in run.finished]
+        records.sort(key=lambda r: order.get(r.test.name, 1 << 30))
+        result.records = records
         return result
-
-
-def _spawn(target, count: int) -> list[threading.Thread]:
-    threads = [threading.Thread(target=target, daemon=True) for _ in range(count)]
-    for thread in threads:
-        thread.start()
-    return threads
-
-
-def _drain(q: queue.Queue, pool: list[threading.Thread]) -> None:
-    """Wait for a stage to finish, then shut its workers down."""
-    q.join()
-    for _ in pool:
-        q.put(_SENTINEL)
-    for thread in pool:
-        thread.join()

@@ -1,0 +1,223 @@
+"""The generic stage scheduler.
+
+:class:`StageScheduler` runs a linear chain of :class:`Stage` objects
+as communicating worker pools — the substrate the validation pipeline
+(compile → execute → judge) is built on, reusable for any staged,
+routed workload (the experiment runner batches its retroactive judge
+pass through a one-stage scheduler).
+
+Responsibilities owned here so stages never re-implement them:
+
+* one bounded queue per stage (back-pressure between pools);
+* thread spawning with per-worker stage state
+  (:meth:`Stage.make_worker_state`) and sentinel shutdown;
+* per-stage statistics (:class:`~repro.pipeline.stats.StageStats`):
+  pass/fail counts, busy and simulated seconds, downstream skips;
+* forward routing — an outcome may jump over stages (record-all mode
+  routes failed compiles straight to the judge);
+* error containment — a stage that raises marks the item failed and
+  keeps the run draining instead of deadlocking ``queue.join``.
+
+Stages only decide *what to do with one item*; the scheduler decides
+how items move.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.pipeline.stages import Stage, StageOutcome
+from repro.pipeline.stats import StageStats
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class StageError:
+    """One exception raised by a stage's ``process``."""
+
+    stage: str
+    payload: Any
+    error: Exception
+
+
+@dataclass
+class SchedulerResult:
+    """Everything one scheduler run produced."""
+
+    finished: list = field(default_factory=list)
+    stats: dict[str, StageStats] = field(default_factory=dict)
+    errors: list[StageError] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_first(self, context: str) -> None:
+        """Raise a RuntimeError for the first stage error, if any."""
+        if not self.errors:
+            return
+        first = self.errors[0]
+        raise RuntimeError(
+            f"{context}: {len(self.errors)} stage failure(s); first: "
+            f"stage {first.stage!r}: {first.error!r}"
+        ) from first.error
+
+
+class StageScheduler:
+    """Bounded-queue, multi-pool executor for a chain of stages.
+
+    Parameters
+    ----------
+    stages:
+        Ordered stage chain.  Items enter at the first stage; outcomes
+        route strictly *forward* (same-or-earlier routing would race
+        the drain protocol, so it is rejected).
+    queue_capacity:
+        Bound of every inter-stage queue — the back-pressure knob.
+    stats:
+        Optional externally-owned ``{stage name: StageStats}`` so a
+        caller (the validation pipeline) can surface scheduler counters
+        through its own stats object.  Missing names get fresh ones.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        queue_capacity: int = 64,
+        stats: Mapping[str, StageStats] | None = None,
+    ):
+        if not stages:
+            raise ValueError("scheduler needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage names must be unique, got {names}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        self.stages = list(stages)
+        self.queue_capacity = queue_capacity
+        self._index = {name: i for i, name in enumerate(names)}
+        provided = dict(stats or {})
+        self.stats = {
+            name: provided.get(name) or StageStats(name) for name in names
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self, items: Sequence[Any]) -> SchedulerResult:
+        """Push ``items`` through the stage chain; block until drained."""
+        result = SchedulerResult(stats=self.stats)
+        finished_lock = threading.Lock()
+
+        queues = [
+            queue.Queue(maxsize=self.queue_capacity) for _ in self.stages
+        ]
+
+        def finish(payload: Any) -> None:
+            with finished_lock:
+                result.finished.append(payload)
+
+        def route(outcome: StageOutcome, from_index: int) -> None:
+            if outcome.done:
+                finish(outcome.payload)
+                return
+            if outcome.next_stage is None:
+                target = from_index + 1
+            else:
+                target = self._index.get(outcome.next_stage)
+                if target is None:
+                    raise ValueError(
+                        f"unknown stage {outcome.next_stage!r} "
+                        f"(have {sorted(self._index)})"
+                    )
+            if target <= from_index:
+                raise ValueError(
+                    f"stage {self.stages[from_index].name!r} may only route "
+                    f"forward, not to {self.stages[target].name!r}"
+                )
+            if target >= len(self.stages):
+                # routed past the last stage: the item is finished
+                finish(outcome.payload)
+                return
+            queues[target].put(outcome.payload)
+
+        def worker(stage_index: int) -> None:
+            stage = self.stages[stage_index]
+            stats = self.stats[stage.name]
+            state = stage.make_worker_state()
+            q = queues[stage_index]
+            while True:
+                item = q.get()
+                if item is _SENTINEL:
+                    q.task_done()
+                    return
+                t0 = time.perf_counter()
+                try:
+                    outcome = stage.process(item, state)
+                except Exception as exc:  # noqa: BLE001 - contained by design
+                    busy = time.perf_counter() - t0
+                    stats.record(False, busy, 0.0)
+                    with finished_lock:
+                        result.errors.append(StageError(stage.name, item, exc))
+                    finish(item)
+                else:
+                    busy = time.perf_counter() - t0
+                    if outcome.ok is not None:
+                        simulated = (
+                            busy
+                            if outcome.simulated_seconds is None
+                            else outcome.simulated_seconds
+                        )
+                        stats.record(outcome.ok, busy, simulated)
+                    try:
+                        for name in outcome.skip_stats:
+                            self.stats[name].record_skip()
+                        route(outcome, stage_index)
+                    except Exception as exc:  # bad routing must not deadlock
+                        with finished_lock:
+                            result.errors.append(StageError(stage.name, item, exc))
+                        finish(outcome.payload)
+                q.task_done()
+
+        started = time.perf_counter()
+        pools: list[list[threading.Thread]] = []
+        for i, stage in enumerate(self.stages):
+            pools.append(_spawn(lambda i=i: worker(i), max(1, stage.workers)))
+
+        for item in items:
+            queues[0].put(item)
+
+        # Drain front to back: routing is forward-only, so once stage i's
+        # queue is empty and its workers are parked, nothing can ever
+        # enqueue to stage i again.
+        for q, pool in zip(queues, pools):
+            q.join()
+            for _ in pool:
+                q.put(_SENTINEL)
+            for thread in pool:
+                thread.join()
+
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+
+def run_stage(
+    stage: Stage,
+    items: Sequence[Any],
+    queue_capacity: int = 64,
+    stats: Mapping[str, StageStats] | None = None,
+) -> SchedulerResult:
+    """Convenience: run one stage's worker pool over ``items``."""
+    return StageScheduler([stage], queue_capacity=queue_capacity, stats=stats).run(items)
+
+
+def _spawn(target: Callable[[], None], count: int) -> list[threading.Thread]:
+    threads = [threading.Thread(target=target, daemon=True) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    return threads

@@ -1,0 +1,236 @@
+"""Stage abstractions for the validation pipeline.
+
+A :class:`Stage` is one worker pool's worth of behaviour: a name, a
+worker count, optional per-worker state (a compiler, an executor, a
+judge — anything not thread-safe to share), and a ``process`` method
+that turns one item into a :class:`StageOutcome` carrying the routing
+decision.  The :class:`~repro.pipeline.scheduler.StageScheduler` owns
+everything else (queues, threads, shutdown, stats).
+
+The three concrete stages reproduce the paper's §III-C pipeline —
+compile → execute → judge — as declarative routing rules instead of
+bespoke thread loops, and each optionally fronts its workhorse with
+the content-addressed caches from :mod:`repro.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.compiler.driver import Compiler
+from repro.corpus.generator import TestFile
+from repro.judge.llmj import AgentLLMJ
+from repro.llm.model import DeepSeekCoderSim
+from repro.runtime.executor import ExecutionResult, Executor
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """What one ``process`` call decided.
+
+    ``ok=None`` means "record no pass/fail statistic" (rare; used by
+    pure routing stages).  ``simulated_seconds=None`` defaults the
+    simulated cost to the measured busy time — right for CPU-bound
+    stages; the judge overrides it with the LLM service-time model.
+    ``skip_stats`` names stages whose statistics should record a skip
+    (early-exit accounting).
+    """
+
+    payload: Any
+    ok: bool | None = None
+    done: bool = False
+    next_stage: str | None = None
+    skip_stats: tuple[str, ...] = ()
+    simulated_seconds: float | None = None
+
+
+class Stage:
+    """One named worker pool in a scheduler chain."""
+
+    name: str = "stage"
+    workers: int = 1
+
+    def make_worker_state(self) -> Any:
+        """Build per-thread state (called once per worker thread)."""
+        return None
+
+    def process(self, payload: Any, state: Any) -> StageOutcome:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# the validation pipeline's three stages
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PipelineItem:
+    """One file's in-flight state between pipeline stages."""
+
+    record: Any  # PipelineRecord (avoid importing engine: it imports us)
+    compiled: Any = None  # CompileResult while travelling compile -> execute
+
+
+class CompileStage(Stage):
+    """Compile one file; route per early-exit/record-all policy.
+
+    * success         → execute stage;
+    * failure + early-exit  → finished (execute and judge record skips);
+    * failure + record-all  → straight to the judge, which sees the
+      failed compile through its prompt.
+    """
+
+    name = "compile"
+
+    def __init__(self, config, environment=None, cache=None):
+        self.config = config
+        self.environment = environment
+        self.cache = cache
+        self.workers = config.compile_workers
+
+    def make_worker_state(self):
+        compiler = Compiler(
+            model=self.config.flavor,
+            openmp_max_version=self.config.openmp_max_version,
+        )
+        if self.cache is not None:
+            from repro.cache.wrappers import CachingCompiler
+
+            return CachingCompiler(compiler, self.cache.compile)
+        return compiler
+
+    def process(self, payload: TestFile, compiler) -> StageOutcome:
+        from repro.pipeline.engine import PipelineRecord
+
+        test = payload
+        compiled = compiler.compile(test.source, test.name)
+        if self.environment is not None:
+            compiled = self.environment.apply(test, compiled)
+        record = PipelineRecord(
+            test=test,
+            compile_rc=compiled.returncode,
+            compile_stderr=compiled.stderr,
+            diagnostic_codes=tuple(compiled.diagnostic_codes),
+        )
+        if compiled.ok:
+            return StageOutcome(PipelineItem(record, compiled), ok=True)
+        if self.config.early_exit:
+            return StageOutcome(
+                PipelineItem(record), ok=False, done=True,
+                skip_stats=("execute", "judge"),
+            )
+        return StageOutcome(PipelineItem(record), ok=False, next_stage="judge")
+
+
+class ExecuteStage(Stage):
+    """Run one compiled unit; route per early-exit policy."""
+
+    name = "execute"
+
+    def __init__(self, config, cache=None):
+        self.config = config
+        self.cache = cache
+        self.workers = config.execute_workers
+
+    def make_worker_state(self):
+        executor = Executor(step_limit=self.config.step_limit)
+        if self.cache is not None:
+            from repro.cache.wrappers import CachingExecutor
+
+            return CachingExecutor(executor, self.cache.execute)
+        return executor
+
+    def process(self, payload: PipelineItem, executor) -> StageOutcome:
+        record = payload.record
+        executed: ExecutionResult = executor.run(payload.compiled)
+        record.run_rc = executed.returncode
+        record.run_stderr = executed.stderr
+        record.run_stdout = executed.stdout
+        payload.compiled = None  # the AST is no longer needed downstream
+        if executed.ok or not self.config.early_exit:
+            return StageOutcome(payload, ok=executed.ok)
+        return StageOutcome(payload, ok=False, done=True, skip_stats=("judge",))
+
+
+class JudgeStage(Stage):
+    """LLM-judge one record's evidence; always terminal."""
+
+    name = "judge"
+
+    def __init__(self, config, model: DeepSeekCoderSim, cache=None):
+        self.config = config
+        self.model = model
+        self.cache = cache
+        self.workers = config.judge_workers
+
+    def make_worker_state(self):
+        judge = AgentLLMJ(self.model, self.config.flavor, kind=self.config.judge_kind)
+        if self.cache is not None:
+            from repro.cache.wrappers import CachingAgentJudge
+
+            return CachingAgentJudge(judge, self.cache.judge)
+        return judge
+
+    def process(self, payload: PipelineItem, judge) -> StageOutcome:
+        record = payload.record
+        judged = judge.judge(record.test, record.tool_report())
+        record.judge_result = judged
+        return StageOutcome(
+            payload,
+            ok=judged.says_valid,
+            done=True,
+            simulated_seconds=judged.simulated_seconds,
+        )
+
+
+@dataclass
+class JudgeTask:
+    """One (index, test, report) unit for a standalone judge sweep."""
+
+    index: int
+    test: TestFile
+    report: Any  # ToolReport
+    result: Any = None  # JudgeResult once processed
+
+
+class BatchJudgeStage(Stage):
+    """A standalone judge pool over prepared :class:`JudgeTask` items.
+
+    Used by the experiment runner to batch the retroactive LLMJ-2 pass
+    through the scheduler instead of a serial loop; ``kind`` and
+    ``workers`` are free knobs since there is no pipeline config here.
+    """
+
+    name = "judge"
+
+    def __init__(
+        self,
+        model: DeepSeekCoderSim,
+        flavor: str,
+        kind: str = "indirect",
+        workers: int = 1,
+        cache=None,
+    ):
+        self.model = model
+        self.flavor = flavor
+        self.kind = kind
+        self.workers = workers
+        self.cache = cache
+
+    def make_worker_state(self):
+        judge = AgentLLMJ(self.model, self.flavor, kind=self.kind)
+        if self.cache is not None:
+            from repro.cache.wrappers import CachingAgentJudge
+
+            return CachingAgentJudge(judge, self.cache.judge)
+        return judge
+
+    def process(self, payload: JudgeTask, judge) -> StageOutcome:
+        payload.result = judge.judge(payload.test, payload.report)
+        return StageOutcome(
+            payload,
+            ok=payload.result.says_valid,
+            done=True,
+            simulated_seconds=payload.result.simulated_seconds,
+        )

@@ -53,17 +53,33 @@ class StageStats:
 
 @dataclass
 class PipelineStats:
-    """Whole-run statistics."""
+    """Whole-run statistics.
+
+    The three canonical stages are first-class attributes; pipelines
+    extended with additional stages (see ``ValidationPipeline.stages``)
+    register their counters in ``extra`` so they surface through
+    :attr:`stages` and :meth:`summary` like the built-ins.
+    """
 
     compile: StageStats = field(default_factory=lambda: StageStats("compile"))
     execute: StageStats = field(default_factory=lambda: StageStats("execute"))
     judge: StageStats = field(default_factory=lambda: StageStats("judge"))
+    extra: dict[str, StageStats] = field(default_factory=dict)
     wall_seconds: float = 0.0
     files_total: int = 0
 
     @property
     def stages(self) -> list[StageStats]:
-        return [self.compile, self.execute, self.judge]
+        return [self.compile, self.execute, self.judge, *self.extra.values()]
+
+    def for_stage(self, name: str) -> StageStats:
+        """The stats slot for ``name``, creating an extra slot if new."""
+        for stage in (self.compile, self.execute, self.judge):
+            if stage.name == name:
+                return stage
+        if name not in self.extra:
+            self.extra[name] = StageStats(name)
+        return self.extra[name]
 
     @property
     def throughput(self) -> float:
