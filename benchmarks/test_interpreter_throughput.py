@@ -1,0 +1,153 @@
+"""BENCH-INTERP — interpreter throughput: walk vs closure backend.
+
+The execute stage bounds the validation pipeline's cold-cache floor
+(up to 2M steps per program, per mutant, per experiment), so interpreter
+steps/sec is the substrate's core performance number.  This module:
+
+* benchmarks steps/sec per backend over three representative program
+  shapes (loop-heavy, directive-heavy, fault path) so the perf
+  trajectory is tracked from PR 2 on;
+* asserts the closure backend is >= 2x the walk backend (a coarse CI
+  guard with generous margin — locally the ratio is 5-10x);
+* emits a BENCH artifact with the measured ratios.
+
+Both backends must also produce byte-identical results here — the
+equivalence suite proper lives in ``tests/test_backend_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.runtime.executor import Executor
+
+#: CI guard: closure must beat walk by at least this factor on the
+#: loop-heavy workload (locally ~5-10x; margin absorbs CI noise)
+MIN_CI_SPEEDUP = 2.0
+
+LOOP_HEAVY = r"""
+#include <stdio.h>
+#define N 256
+int main() {
+    double a[N]; double b[N]; double c[N];
+    double s = 0.0;
+    for (int i = 0; i < N; i++) { a[i] = i * 0.5; b[i] = i + 1.0; }
+    for (int rep = 0; rep < 40; rep++) {
+        for (int i = 0; i < N; i++) { c[i] = a[i] * 2.0 + b[i] * 0.5; }
+        for (int i = 0; i < N; i++) { s += c[i]; }
+    }
+    printf("s=%f\n", s);
+    return 0;
+}
+"""
+
+DIRECTIVE_HEAVY = r"""
+#include <stdio.h>
+#include <openacc.h>
+#define N 64
+int main() {
+    double a[N]; double b[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) { a[i] = i; b[i] = 0.0; }
+    for (int rep = 0; rep < 60; rep++) {
+        #pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])
+        for (int i = 0; i < N; i++) { b[i] = a[i] * 2.0 + rep; }
+        #pragma acc parallel loop reduction(+:err)
+        for (int i = 0; i < N; i++) {
+            if (b[i] != a[i] * 2.0 + rep) err += 1;
+        }
+    }
+    printf("err=%d\n", err);
+    return err;
+}
+"""
+
+FAULT_PATH = r"""
+#include <stdio.h>
+#include <stdlib.h>
+#define N 128
+int main() {
+    double *p = (double *)malloc(N * sizeof(double));
+    double s = 0.0;
+    for (int rep = 0; rep < 40; rep++) {
+        for (int i = 0; i < N; i++) { p[i] = i * 1.5; }
+        for (int i = 0; i < N; i++) { s += p[i]; }
+    }
+    printf("s=%f\n", s);
+    return p[N * 2] > 0.0;  /* out-of-bounds: simulated segfault */
+}
+"""
+
+PROGRAMS = {
+    "loop_heavy": LOOP_HEAVY,
+    "directive_heavy": DIRECTIVE_HEAVY,
+    "fault_path": FAULT_PATH,
+}
+
+
+@pytest.fixture(scope="module")
+def compiled_programs():
+    compiler = Compiler(model="acc")
+    out = {}
+    for name, source in PROGRAMS.items():
+        compiled = compiler.compile(source, f"{name}.c")
+        assert compiled.ok, compiled.stderr
+        out[name] = compiled
+    return out
+
+
+def _time_run(executor: Executor, compiled, reps: int = 3):
+    result = executor.run(compiled)  # warm-up (also pays one-time lowering)
+    start = time.perf_counter()
+    for _ in range(reps):
+        result = executor.run(compiled)
+    return result, (time.perf_counter() - start) / reps
+
+
+@pytest.mark.parametrize("backend", ["walk", "closure"])
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+def test_interpreter_throughput(benchmark, compiled_programs, program, backend):
+    """Steps/sec per backend per program shape (trajectory tracking)."""
+    executor = Executor(step_limit=10_000_000, backend=backend)
+    compiled = compiled_programs[program]
+    executor.run(compiled)  # pay one-time lowering outside the timer
+
+    result = benchmark(lambda: executor.run(compiled))
+    assert result.steps > 10_000  # the bench must actually exercise the loop
+    benchmark.extra_info["steps"] = result.steps
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["steps_per_sec"] = int(
+            result.steps / benchmark.stats["mean"]
+        )
+
+
+def test_closure_backend_speedup(compiled_programs, emit_artifact):
+    """The perf gate: closure >= 2x walk in CI (>= 5x locally), with
+    byte-identical results on every measured program."""
+    walk = Executor(step_limit=10_000_000, backend="walk")
+    closure = Executor(step_limit=10_000_000, backend="closure")
+    lines = ["Interpreter throughput, walk vs closure backend:"]
+    ratios = {}
+    for name, compiled in sorted(compiled_programs.items()):
+        walk_result, walk_seconds = _time_run(walk, compiled)
+        closure_result, closure_seconds = _time_run(closure, compiled)
+        assert walk_result == closure_result, (
+            f"{name}: backends disagree\n  walk:    {walk_result}\n"
+            f"  closure: {closure_result}"
+        )
+        ratio = walk_seconds / closure_seconds if closure_seconds > 0 else float("inf")
+        ratios[name] = ratio
+        lines.append(
+            f"  {name:16s} walk {walk_result.steps / walk_seconds / 1e6:6.2f} Msteps/s"
+            f"   closure {closure_result.steps / closure_seconds / 1e6:6.2f} Msteps/s"
+            f"   speedup {ratio:5.1f}x"
+        )
+    emit_artifact("interpreter_throughput", "\n".join(lines))
+
+    assert ratios["loop_heavy"] >= MIN_CI_SPEEDUP, (
+        f"closure backend only {ratios['loop_heavy']:.2f}x walk on the "
+        f"loop-heavy workload (gate: {MIN_CI_SPEEDUP}x)"
+    )

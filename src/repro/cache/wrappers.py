@@ -25,6 +25,12 @@ class CachingCompiler:
 
     Values carry live AST objects (the execute stage consumes
     ``CompileResult.unit``), so this namespace is memory-only.
+
+    The closure execution backend memoizes its lowered program on the
+    unit object itself (``repro.runtime.compilebody.lower_unit``), so a
+    compile-cache hit also carries the lowered closures: repeated
+    executions of one unit — worker scaling, ablations, Part-Two
+    re-judging — skip both parsing *and* lowering.
     """
 
     def __init__(self, inner: Compiler, cache: ResultCache):
@@ -47,6 +53,11 @@ class CachingExecutor:
     filename and source) plus the step limit; results are plain data,
     so this namespace persists to disk.  Results without a content key
     (hand-built in tests) execute uncached.
+
+    The execution *backend* is deliberately NOT part of the key: the
+    walk and closure backends are observationally identical (asserted
+    corpus-wide by ``tests/test_backend_equivalence.py``), so results
+    computed under either warm-start the other.
     """
 
     def __init__(self, inner: Executor, cache: ResultCache):

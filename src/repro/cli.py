@@ -34,6 +34,14 @@ def main(argv: list[str] | None = None) -> int:
             help="disable content-addressed result caching",
         )
 
+    def add_backend_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--backend", choices=("walk", "closure"), default="closure",
+            help="interpreter execution backend: 'closure' (lowered "
+                 "closures, 5-10x faster) or 'walk' (tree-walking "
+                 "reference evaluator)",
+        )
+
     p_validate = sub.add_parser("validate", help="validate candidate test files")
     p_validate.add_argument("files", nargs="+", help="source files to validate")
     p_validate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
@@ -41,6 +49,7 @@ def main(argv: list[str] | None = None) -> int:
     p_validate.add_argument("--no-early-exit", action="store_true")
     p_validate.add_argument("--workers", type=int, default=2)
     add_cache_flags(p_validate)
+    add_backend_flag(p_validate)
 
     p_generate = sub.add_parser("generate", help="generate a synthetic V&V corpus")
     p_generate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
@@ -48,6 +57,7 @@ def main(argv: list[str] | None = None) -> int:
     p_generate.add_argument("--languages", default="c,cpp")
     p_generate.add_argument("--seed", type=int, default=1234)
     p_generate.add_argument("--out", default="corpus-out")
+    add_backend_flag(p_generate)
 
     p_probe = sub.add_parser("probe", help="negative-probe a saved suite")
     p_probe.add_argument("suite", help="directory produced by 'generate'")
@@ -59,11 +69,13 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--scale", choices=("paper", "small", "tiny"), default="small")
     p_exp.add_argument("--seed", type=int, default=20240822)
     add_cache_flags(p_exp)
+    add_backend_flag(p_exp)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--scale", choices=("paper", "small", "tiny"), default="paper")
     p_report.add_argument("--out", default="EXPERIMENTS.md")
     add_cache_flags(p_report)
+    add_backend_flag(p_report)
 
     args = parser.parse_args(argv)
     return _dispatch(args)
@@ -120,6 +132,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         early_exit=not args.no_early_exit,
         workers=args.workers,
         cache=cache,
+        execution_backend=args.backend,
     )
     report = validator.validate_sources(sources)
     for judged in report.files:
@@ -136,7 +149,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.corpus.suite import TestSuite
 
     languages = tuple(args.languages.split(","))
-    generator = CorpusGenerator(seed=args.seed)
+    generator = CorpusGenerator(seed=args.seed, execution_backend=args.backend)
     files = generator.generate(args.flavor, args.count, languages=languages)
     suite = TestSuite(f"{args.flavor}-generated", args.flavor, files)
     out = suite.save(args.out)
@@ -164,7 +177,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     exp = Experiments(
         ExperimentConfig(
-            scale=args.scale, seed=args.seed, cache_enabled=cache is not None
+            scale=args.scale, seed=args.seed, cache_enabled=cache is not None,
+            execution_backend=args.backend,
         ),
         cache=cache,
     )
@@ -190,7 +204,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     cache = _make_cache(args)
     exp = Experiments(
-        ExperimentConfig(scale=args.scale, cache_enabled=cache is not None),
+        ExperimentConfig(
+            scale=args.scale, cache_enabled=cache is not None,
+            execution_backend=args.backend,
+        ),
         cache=cache,
     )
     path = write_experiments_md(exp, args.out)

@@ -103,6 +103,9 @@ class CharLiteral(Expr):
 @dataclass
 class Identifier(Expr):
     name: str
+    #: frame-slot annotation written by the closure backend's lowerer
+    #: (``repro.runtime.compilebody``); ``None`` = global / not lowered
+    slot: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -195,6 +198,8 @@ class Declarator:
     array_dims: list[Optional[Expr]] = field(default_factory=list)
     init: Optional[Expr] = None
     location: Optional[SourceLocation] = None
+    #: frame-slot annotation written by the closure backend's lowerer
+    slot: Optional[int] = field(default=None, compare=False, repr=False)
 
     @property
     def is_array(self) -> bool:
@@ -293,6 +298,8 @@ class FunctionDef:
     body: Optional[Compound]  # None for prototypes
     location: SourceLocation
     variadic: bool = False
+    #: frame size computed by the closure backend's lowerer
+    frame_slots: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass

@@ -20,6 +20,8 @@ more informative errors.
 from __future__ import annotations
 
 import enum
+import re
+import sys
 from dataclasses import dataclass
 
 from repro.compiler.diagnostics import DiagnosticEngine, SourceLocation
@@ -82,6 +84,40 @@ _PUNCTUATORS = sorted(
     key=len,
     reverse=True,
 )
+
+# ---------------------------------------------------------------------------
+# The batch scanner behind tokenize(): ONE compiled master regex instead
+# of a character-at-a-time loop.  ``next_token`` below remains the
+# executable spec; ``tests/test_lexer.py`` asserts both produce
+# identical token streams (text, kind, AND location) over the corpus.
+# ---------------------------------------------------------------------------
+
+#: master scanner — alternation order IS the dispatch priority
+_MASTER_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r\f\v]+)
+    | (?P<nl>\n)
+    | (?P<cont>\\\n)
+    | (?P<lcomment>//[^\n]*)
+    | (?P<bcomment>/\*.*?\*/)
+    | (?P<badcomment>/\*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<hex>0[xX][0-9a-fA-F]*(?P<hexsuf>[uUlLfF]*))
+    | (?P<number>(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?[uUlLfF]*)
+    | (?P<string>"(?:\\.|[^"\\\n])*")
+    | (?P<char>'(?:\\.|[^'\\\n])*')
+    | (?P<punct><<=|>>=|\.\.\.|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|::|[-+*/%<>=!&|^~?:;,.()\[\]{}])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+#: unterminated literals: consumed to end of line / EOF, backslash
+#: escapes (including ``\``-newline) skipped, exactly like the spec
+_UNTERM_STRING_RE = re.compile(r'"(?:\\.|[^"\\\n])*\\?', re.DOTALL)
+_UNTERM_CHAR_RE = re.compile(r"'(?:\\.|[^'\\\n])*\\?", re.DOTALL)
+
+#: one whole preprocessor line with ``\``-newline continuations
+_HASH_LINE_RE = re.compile(r"#(?:\\\n|[^\n])*")
 
 
 class Lexer:
@@ -259,9 +295,9 @@ class Lexer:
         self.diags.error(f"stray {bad!r} in program", loc, code="stray-character")
         return self.next_token()
 
-    def _line_prefix_blank(self) -> bool:
-        """True if everything between the last newline and pos is blank."""
-        idx = self.pos - 1
+    def _line_prefix_blank(self, pos: int | None = None) -> bool:
+        """True if everything between the last newline and ``pos`` is blank."""
+        idx = (self.pos if pos is None else pos) - 1
         while idx >= 0 and self.source[idx] != "\n":
             if self.source[idx] not in " \t":
                 return False
@@ -269,13 +305,186 @@ class Lexer:
         return True
 
     def tokenize(self) -> list[Token]:
-        """Lex the whole input, returning tokens including the final EOF."""
+        """Lex the whole input, returning tokens including the final EOF.
+
+        Batch path: a single compiled master regex with a dispatch on
+        the matched group, instead of re-entering the per-character
+        ``next_token`` machinery.  Identifier/keyword/punctuator text is
+        ``sys.intern``'d so downstream keyword and punctuator
+        comparisons are pointer comparisons.  Produces exactly the
+        stream ``next_token`` would (asserted by the lexer tests).
+        """
+        source = self.source
+        filename = self.filename
+        length = len(source)
+        pos = self.pos
+        line = self.line
+        col = self.col
+        intern = sys.intern
         tokens: list[Token] = []
-        while True:
-            tok = self.next_token()
-            tokens.append(tok)
-            if tok.kind is TokenKind.EOF:
-                return tokens
+        match_at = _MASTER_RE.match
+
+        while pos < length:
+            m = match_at(source, pos)
+            if m is None:
+                ch = source[pos]
+                if ch == "#" and (col == 1 or self._line_prefix_blank(pos)):
+                    loc = SourceLocation(filename, line, col)
+                    hm = _HASH_LINE_RE.match(source, pos)
+                    text = hm.group(0)
+                    pos = hm.end()
+                    nl = text.count("\n")
+                    if nl:
+                        line += nl
+                        col = len(text) - text.rfind("\n")
+                    else:
+                        col += len(text)
+                    tokens.append(
+                        Token(TokenKind.HASH_LINE, text.replace("\\\n", " "), loc)
+                    )
+                    continue
+                if ch in "\"'":
+                    # a quote the master regex rejected: unterminated
+                    loc = SourceLocation(filename, line, col)
+                    pattern = _UNTERM_STRING_RE if ch == '"' else _UNTERM_CHAR_RE
+                    lm = pattern.match(source, pos)
+                    text = lm.group(0)
+                    pos = lm.end()
+                    nl = text.count("\n")
+                    if nl:
+                        line += nl
+                        col = len(text) - text.rfind("\n")
+                    else:
+                        col += len(text)
+                    self.diags.error(
+                        f"unterminated {'string' if ch == chr(34) else 'character'} literal",
+                        loc,
+                        code="unterminated-literal",
+                    )
+                    tokens.append(Token(TokenKind.STRING_LIT, text, loc))
+                    continue
+                # Unknown byte: report, skip, continue.
+                self.diags.error(
+                    f"stray {ch!r} in program",
+                    SourceLocation(filename, line, col),
+                    code="stray-character",
+                )
+                pos += 1
+                if ch == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                continue
+
+            kind = m.lastgroup
+            text = m.group(0)
+            end = m.end()
+            if kind == "ws":
+                col += end - pos
+                pos = end
+                continue
+            if kind == "nl":
+                line += 1
+                col = 1
+                pos = end
+                continue
+            if kind == "cont":
+                line += 1
+                col = 1
+                pos = end
+                continue
+            if kind == "lcomment":
+                col += end - pos
+                pos = end
+                continue
+            if kind == "bcomment":
+                nl = text.count("\n")
+                if nl:
+                    line += nl
+                    col = len(text) - text.rfind("\n")
+                else:
+                    col += len(text)
+                pos = end
+                continue
+            if kind == "badcomment":
+                self.diags.error(
+                    "unterminated /* comment",
+                    SourceLocation(filename, line, col),
+                    code="unterminated-comment",
+                )
+                # the spec consumes the rest of the input looking for */
+                rest = source[pos:]
+                nl = rest.count("\n")
+                if nl:
+                    line += nl
+                    col = len(rest) - rest.rfind("\n")
+                else:
+                    col += len(rest)
+                pos = length
+                break
+            if kind == "ident":
+                loc = SourceLocation(filename, line, col)
+                col += end - pos
+                pos = end
+                interned = intern(text)
+                tokens.append(
+                    Token(
+                        TokenKind.KEYWORD if interned in C_KEYWORDS else TokenKind.IDENT,
+                        interned,
+                        loc,
+                    )
+                )
+                continue
+            if kind == "hex":
+                loc = SourceLocation(filename, line, col)
+                col += end - pos
+                pos = end
+                suffix = m.group("hexsuf")
+                is_float = "f" in suffix or "F" in suffix
+                tokens.append(
+                    Token(TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT, text, loc)
+                )
+                continue
+            if kind == "number":
+                loc = SourceLocation(filename, line, col)
+                col += end - pos
+                pos = end
+                is_float = (
+                    "." in text or "e" in text or "E" in text or "f" in text or "F" in text
+                )
+                tokens.append(
+                    Token(TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT, text, loc)
+                )
+                continue
+            if kind == "string" or kind == "char":
+                loc = SourceLocation(filename, line, col)
+                nl = text.count("\n")
+                if nl:
+                    line += nl
+                    col = len(text) - text.rfind("\n")
+                else:
+                    col += len(text)
+                pos = end
+                tokens.append(
+                    Token(
+                        TokenKind.STRING_LIT if kind == "string" else TokenKind.CHAR_LIT,
+                        text,
+                        loc,
+                    )
+                )
+                continue
+            # punct
+            loc = SourceLocation(filename, line, col)
+            col += end - pos
+            pos = end
+            tokens.append(Token(TokenKind.PUNCT, intern(text), loc))
+
+        self.pos = pos
+        self.line = line
+        self.col = col
+        tokens.append(Token(TokenKind.EOF, "", self._loc()))
+        return tokens
 
 
 def tokenize(source: str, filename: str = "<input>", diags: DiagnosticEngine | None = None) -> list[Token]:

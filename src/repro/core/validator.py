@@ -110,6 +110,7 @@ class TestsuiteValidator:
         openmp_max_version: float = 4.5,
         model: DeepSeekCoderSim | None = None,
         cache=None,
+        execution_backend: str = "closure",
     ):
         self.config = PipelineConfig(
             flavor=flavor,
@@ -118,6 +119,7 @@ class TestsuiteValidator:
             compile_workers=workers,
             execute_workers=workers,
             judge_workers=judge_workers,
+            execution_backend=execution_backend,
             model_seed=model_seed,
             openmp_max_version=openmp_max_version,
         )

@@ -76,6 +76,7 @@ class CorpusGenerator:
     validate: bool = True
     step_limit: int = 3_000_000
     openmp_max_version: float = 4.5
+    execution_backend: str = "closure"
     cache: object | None = None
     _validation_failures: list[str] = field(default_factory=list)
 
@@ -95,7 +96,7 @@ class CorpusGenerator:
             raise ValueError(f"no templates for model={model!r} languages={languages!r}")
         rng.shuffle(pool)
         compiler = Compiler(model=model, openmp_max_version=self.openmp_max_version)
-        executor = Executor(step_limit=self.step_limit)
+        executor = Executor(step_limit=self.step_limit, backend=self.execution_backend)
         if self.cache is not None:
             from repro.cache.wrappers import CachingCompiler, CachingExecutor
 

@@ -39,6 +39,9 @@ class ExperimentConfig:
     flake_rates: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_FLAKE_RATES))
     openmp_max_version: float = 4.5
     step_limit: int = 3_000_000
+    #: interpreter evaluator: "closure" (lowered closures, the fast
+    #: default) or "walk" (the tree-walking executable spec)
+    execution_backend: str = "closure"
     compile_workers: int = 2
     execute_workers: int = 2
     judge_workers: int = 2
@@ -54,6 +57,10 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
             raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {self.scale!r}")
+        if self.execution_backend not in ("walk", "closure"):
+            raise ValueError(
+                f"execution_backend must be 'walk' or 'closure', got {self.execution_backend!r}"
+            )
         if self.cache_max_entries < 1:
             raise ValueError(
                 f"cache_max_entries must be >= 1, got {self.cache_max_entries}"

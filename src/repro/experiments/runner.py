@@ -134,6 +134,7 @@ class Experiments:
             seed=self.config.seed,
             openmp_max_version=self.config.openmp_max_version,
             step_limit=self.config.step_limit,
+            execution_backend=self.config.execution_backend,
             cache=self.cache,
         )
         files = generator.generate(flavor, count, languages=languages)
@@ -208,6 +209,7 @@ class Experiments:
                 openmp_max_version=self.config.openmp_max_version,
                 step_limit=self.config.step_limit,
                 model_seed=self.config.model_seed,
+                execution_backend=self.config.execution_backend,
             ),
             model=self.model,
             environment=environment,

@@ -68,10 +68,11 @@ class ToolRunner:
         openmp_max_version: float = 4.5,
         step_limit: int = 3_000_000,
         environment=None,
+        execution_backend: str = "closure",
     ):
         self.flavor = flavor
         self.compiler = Compiler(model=flavor, openmp_max_version=openmp_max_version)
-        self.executor = Executor(step_limit=step_limit)
+        self.executor = Executor(step_limit=step_limit, backend=execution_backend)
         self.environment = environment
 
     def compile(self, test: TestFile) -> CompileResult:

@@ -167,12 +167,13 @@ class AgentLLMJ(_JudgeBase):
         kind: str = "direct",
         tools: ToolRunner | None = None,
         max_retries: int = 2,
+        execution_backend: str = "closure",
     ):
         super().__init__(model, flavor, max_retries)
         if kind not in ("direct", "indirect"):
             raise ValueError(f"kind must be 'direct' or 'indirect', got {kind!r}")
         self.kind = kind
-        self.tools = tools or ToolRunner(flavor)
+        self.tools = tools or ToolRunner(flavor, execution_backend=execution_backend)
 
     @property
     def mode(self) -> str:

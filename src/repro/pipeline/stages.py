@@ -134,7 +134,10 @@ class ExecuteStage(Stage):
         self.workers = config.execute_workers
 
     def make_worker_state(self):
-        executor = Executor(step_limit=self.config.step_limit)
+        executor = Executor(
+            step_limit=self.config.step_limit,
+            backend=getattr(self.config, "execution_backend", "closure"),
+        )
         if self.cache is not None:
             from repro.cache.wrappers import CachingExecutor
 
@@ -165,7 +168,10 @@ class JudgeStage(Stage):
         self.workers = config.judge_workers
 
     def make_worker_state(self):
-        judge = AgentLLMJ(self.model, self.config.flavor, kind=self.config.judge_kind)
+        judge = AgentLLMJ(
+            self.model, self.config.flavor, kind=self.config.judge_kind,
+            execution_backend=getattr(self.config, "execution_backend", "closure"),
+        )
         if self.cache is not None:
             from repro.cache.wrappers import CachingAgentJudge
 

@@ -139,8 +139,14 @@ def run_traced_pipeline(pipeline, files):
     tracer = PipelineTracer()
     cfg = pipeline.config
     compiler = Compiler(model=cfg.flavor, openmp_max_version=cfg.openmp_max_version)
-    executor = Executor(step_limit=cfg.step_limit)
-    judge = AgentLLMJ(pipeline.model, cfg.flavor, kind=cfg.judge_kind)
+    executor = Executor(
+        step_limit=cfg.step_limit,
+        backend=getattr(cfg, "execution_backend", "closure"),
+    )
+    judge = AgentLLMJ(
+        pipeline.model, cfg.flavor, kind=cfg.judge_kind,
+        execution_backend=getattr(cfg, "execution_backend", "closure"),
+    )
 
     from repro.pipeline.engine import PipelineRecord, PipelineResult
 

@@ -9,6 +9,18 @@ serial and "device" results agree).
 """
 
 from repro.runtime.executor import ExecutionResult, Executor
-from repro.runtime.interpreter import Interpreter, RuntimeFault
+from repro.runtime.interpreter import (
+    DEFAULT_BACKEND,
+    EXECUTION_BACKENDS,
+    Interpreter,
+    RuntimeFault,
+)
 
-__all__ = ["ExecutionResult", "Executor", "Interpreter", "RuntimeFault"]
+__all__ = [
+    "DEFAULT_BACKEND",
+    "EXECUTION_BACKENDS",
+    "ExecutionResult",
+    "Executor",
+    "Interpreter",
+    "RuntimeFault",
+]

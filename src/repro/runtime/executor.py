@@ -4,6 +4,11 @@
 :class:`~repro.compiler.driver.CompileResult` and produces an
 :class:`ExecutionResult` carrying the (return code, stdout, stderr)
 triple the validation pipeline and the agent-based judge consume.
+
+``backend`` selects the interpreter's evaluator (``"walk"`` tree-walker
+or the default ``"closure"`` compiled-closure backend); both are
+observationally identical, which ``tests/test_backend_equivalence.py``
+asserts corpus-wide.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from dataclasses import dataclass
 from repro.compiler.driver import CompileResult
 from repro.runtime.builtins import ExitProgram
 from repro.runtime.device import DataMappingError
-from repro.runtime.interpreter import Interpreter, RuntimeFault
+from repro.runtime.interpreter import DEFAULT_BACKEND, Interpreter, RuntimeFault
 from repro.runtime.values import MemoryFault
 
 
@@ -36,8 +41,9 @@ class ExecutionResult:
 class Executor:
     """Runs compiled translation units with a bounded step budget."""
 
-    def __init__(self, step_limit: int = 2_000_000):
+    def __init__(self, step_limit: int = 2_000_000, backend: str = DEFAULT_BACKEND):
         self.step_limit = step_limit
+        self.backend = backend
 
     def run(self, compiled: CompileResult) -> ExecutionResult:
         """Execute the program; never raises on program misbehaviour."""
@@ -48,53 +54,56 @@ class Executor:
                 stderr="cannot execute: compilation failed\n",
                 fault="not-compiled",
             )
-        interp = Interpreter(compiled.unit, step_limit=self.step_limit)
+        interp = Interpreter(
+            compiled.unit, step_limit=self.step_limit, backend=self.backend
+        )
         try:
             rc = interp.run()
         except RuntimeFault as fault:
-            return ExecutionResult(
-                returncode=fault.returncode,
-                stdout="".join(interp.stdout),
-                stderr="".join(interp.stderr) + fault.stderr,
-                steps=interp.steps,
-                timed_out=fault.returncode == 124,
-                fault=str(fault),
+            return self._finish(
+                interp, fault.returncode, extra_stderr=fault.stderr,
+                fault=str(fault), timed_out=fault.returncode == 124,
             )
         except DataMappingError as fault:
-            return ExecutionResult(
-                returncode=1,
-                stdout="".join(interp.stdout),
-                stderr="".join(interp.stderr)
-                + f"FATAL ERROR: {fault}\n",
-                steps=interp.steps,
-                fault=str(fault),
+            return self._finish(
+                interp, 1, extra_stderr=f"FATAL ERROR: {fault}\n", fault=str(fault)
             )
         except MemoryFault as fault:
-            return ExecutionResult(
-                returncode=139,
-                stdout="".join(interp.stdout),
-                stderr="".join(interp.stderr) + "Segmentation fault (core dumped)\n",
-                steps=interp.steps,
+            return self._finish(
+                interp, 139, extra_stderr="Segmentation fault (core dumped)\n",
                 fault=str(fault),
             )
         except ExitProgram as exc:
-            return ExecutionResult(
-                returncode=exc.code & 0xFF,
-                stdout="".join(interp.stdout),
-                stderr="".join(interp.stderr),
-                steps=interp.steps,
-            )
+            return self._finish(interp, exc.code & 0xFF)
         except RecursionError:
-            return ExecutionResult(
-                returncode=139,
-                stdout="".join(interp.stdout),
-                stderr="Segmentation fault (core dumped)\n",
-                steps=interp.steps,
-                fault="host recursion limit",
+            # the host interpreter gave out first; the program's own
+            # stderr is dropped, matching a hard crash
+            return self._finish(
+                interp, 139, extra_stderr="Segmentation fault (core dumped)\n",
+                fault="host recursion limit", program_stderr=False,
             )
+        return self._finish(interp, rc)
+
+    @staticmethod
+    def _finish(
+        interp: Interpreter,
+        returncode: int,
+        extra_stderr: str = "",
+        fault: str | None = None,
+        timed_out: bool = False,
+        program_stderr: bool = True,
+    ) -> ExecutionResult:
+        """Build the result triple in ONE place.
+
+        Every exit path — clean or any fault — funnels through here, so
+        a future except arm cannot forget ``steps=`` or diverge on how
+        stdout/stderr are joined.
+        """
         return ExecutionResult(
-            returncode=rc,
+            returncode=returncode,
             stdout="".join(interp.stdout),
-            stderr="".join(interp.stderr),
+            stderr=("".join(interp.stderr) if program_stderr else "") + extra_stderr,
             steps=interp.steps,
+            timed_out=timed_out,
+            fault=fault,
         )

@@ -115,10 +115,11 @@ class Pointer:
     block: HeapBlock
     byte_offset: int
     pointee: CType
+    #: element size, cached at construction — every load/store needs it
+    elem_size: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def elem_size(self) -> int:
-        return sizeof_type(self.pointee)
+    def __post_init__(self) -> None:
+        self.elem_size = sizeof_type(self.pointee)
 
     def add(self, elements: int) -> "Pointer":
         return Pointer(self.block, self.byte_offset + elements * self.elem_size, self.pointee)
@@ -147,17 +148,16 @@ class CArray:
     elem_type: CType
     dims: list[int]
     block: HeapBlock = None  # type: ignore[assignment]
+    #: element size, cached at construction (see :class:`Pointer`)
+    elem_size: int = field(init=False, compare=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
+        self.elem_size = sizeof_type(self.elem_type)
         if self.block is None:
             total = 1
             for d in self.dims:
                 total *= max(d, 0)
-            self.block = HeapBlock(size=total * sizeof_type(self.elem_type), label="array")
-
-    @property
-    def elem_size(self) -> int:
-        return sizeof_type(self.elem_type)
+            self.block = HeapBlock(size=total * self.elem_size, label="array")
 
     def flat_length(self) -> int:
         total = 1

@@ -1,5 +1,7 @@
 """Unit tests for the tokenizer."""
 
+import pytest
+
 from repro.compiler.diagnostics import DiagnosticEngine
 from repro.compiler.lexer import Lexer, Token, TokenKind, tokenize
 
@@ -158,3 +160,59 @@ class TestTokenHelpers:
         tok = tokenize("while")[0]
         assert tok.is_keyword("while")
         assert not tok.is_keyword("for")
+
+
+class TestScannerMatchesSpec:
+    """The batch master-regex scanner behind ``tokenize()`` must emit
+    exactly the stream the character-at-a-time ``next_token`` loop (the
+    executable spec) emits — token kinds, texts, locations AND
+    diagnostics — plus interned ident/keyword/punct text."""
+
+    @staticmethod
+    def _spec_stream(source):
+        diags = DiagnosticEngine(error_limit=10_000)
+        lexer = Lexer(source, "t.c", diags)
+        tokens = []
+        while True:
+            tok = lexer.next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens, diags.render_stderr()
+
+    def _assert_identical(self, source):
+        spec_tokens, spec_diags = self._spec_stream(source)
+        diags = DiagnosticEngine(error_limit=10_000)
+        fast_tokens = Lexer(source, "t.c", diags).tokenize()
+        assert fast_tokens == spec_tokens
+        assert diags.render_stderr() == spec_diags
+
+    @pytest.mark.parametrize("source", [
+        "int main() { return 0; }",
+        "#pragma acc parallel \\\n loop copy(a[0:N])\nx = 1;",
+        "double d = .5e-3f; float f = 1.f; int h = 0x; int u = 1uf8;",
+        "a /* multi\nline */ b // trailing\nc",
+        '"str \\" esc" \'c\' \'\\n\'',
+        'char *s = "unterminated\nint y;',
+        "'unterminated char\nx",
+        "a /* never closed",
+        "int a # b;",
+        "x@y $z \\q",
+        "i+++++j; a->b; x<<=2; t...u; ..5 ...5 1..2 1.2.3",
+        "1e 1e+2 1e+x 0x1uf 0xff 123abc",
+        "  #pragma omp barrier\n",
+        "",
+    ])
+    def test_edge_cases(self, source):
+        self._assert_identical(source)
+
+    def test_corpus_token_streams(self, acc_corpus, omp_corpus):
+        for test in list(acc_corpus) + list(omp_corpus):
+            self._assert_identical(test.source)
+
+    def test_interned_token_text(self):
+        import sys
+
+        tokens = tokenize("while (count) { count += 1; }")
+        for tok in tokens[:-1]:
+            if tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD, TokenKind.PUNCT):
+                assert tok.text is sys.intern(tok.text)
