@@ -11,12 +11,40 @@ memory-only.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
+
+try:  # POSIX advisory locks guard concurrent-process saves
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def _interprocess_lock(lock_path: Path) -> Iterator[None]:
+    """Exclusive advisory lock serialising writers across processes.
+
+    Readers never need it: writes land via atomic rename, so a reader
+    sees either the old or the new file, never a torn one.  Where
+    ``flock`` is unavailable the lock degrades to a no-op and
+    merge-on-save plus pid-unique temp files still prevent corruption
+    (though a concurrent writer's entries may then be lost to a race).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    with open(lock_path, "a+") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 
 @dataclass(frozen=True)
@@ -112,6 +140,16 @@ class ResultCache:
     def save_to(self, directory: str | Path) -> Path | None:
         """Write all entries to ``<directory>/<name>.json`` (atomic).
 
+        Safe under concurrent processes: the write happens under an
+        exclusive ``<name>.json.lock`` and *merges* with whatever is
+        already on disk (keys persisted by sibling shards survive; for
+        keys both sides hold, this process's value wins — keys are
+        content-addressed, so both sides computed the same value
+        anyway).  The merged payload is capped at ``max_entries`` so
+        the file honours the same bound as the in-memory LRU.  The
+        payload then lands via write-to-temp plus atomic rename, so
+        readers never observe a torn file.
+
         An unwritable destination (e.g. a path naming an existing file)
         loses persistence, never the run: returns None instead of
         raising, mirroring :meth:`load_from`'s corrupt-file tolerance.
@@ -126,9 +164,22 @@ class ResultCache:
                 }
             directory.mkdir(parents=True, exist_ok=True)
             path = directory / f"{self.name}.json"
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)
+            with _interprocess_lock(directory / f"{self.name}.json.lock"):
+                if path.exists():
+                    try:
+                        disk = json.loads(path.read_text())
+                    except (json.JSONDecodeError, OSError, ValueError):
+                        disk = {}
+                    # merge up to the LRU bound: this process's entries
+                    # always survive; older disk-only entries fill the
+                    # remainder, so the file cannot grow without limit
+                    for key, raw in disk.items():
+                        if len(payload) >= self.max_entries:
+                            break
+                        payload.setdefault(key, raw)
+                tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+                tmp.write_text(json.dumps(payload))
+                tmp.replace(path)
         except (OSError, TypeError, ValueError):
             return None
         return path

@@ -42,6 +42,21 @@ def main(argv: list[str] | None = None) -> int:
                  "reference evaluator)",
         )
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_jobs_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--jobs", type=positive_int, default=1, metavar="N",
+            help="worker processes for the experiment matrix: fan "
+                 "independent (part x flavor) cells over N processes "
+                 "sharing execute/judge results via the on-disk cache "
+                 "(1 = sequential)",
+        )
+
     p_validate = sub.add_parser("validate", help="validate candidate test files")
     p_validate.add_argument("files", nargs="+", help="source files to validate")
     p_validate.add_argument("--flavor", choices=("acc", "omp"), default="acc")
@@ -70,12 +85,14 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--seed", type=int, default=20240822)
     add_cache_flags(p_exp)
     add_backend_flag(p_exp)
+    add_jobs_flag(p_exp)
 
     p_report = sub.add_parser("report", help="write EXPERIMENTS.md")
     p_report.add_argument("--scale", choices=("paper", "small", "tiny"), default="paper")
     p_report.add_argument("--out", default="EXPERIMENTS.md")
     add_cache_flags(p_report)
     add_backend_flag(p_report)
+    add_jobs_flag(p_report)
 
     args = parser.parse_args(argv)
     return _dispatch(args)
@@ -178,7 +195,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     exp = Experiments(
         ExperimentConfig(
             scale=args.scale, seed=args.seed, cache_enabled=cache is not None,
-            execution_backend=args.backend,
+            cache_dir=args.cache_dir, execution_backend=args.backend, jobs=args.jobs,
         ),
         cache=cache,
     )
@@ -188,14 +205,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         else [args.artifact]
     )
     for name in names:
-        method = getattr(exp, name, None)
-        if method is None:
+        if getattr(exp, name, None) is None:
             print(f"unknown artifact {name!r}", file=sys.stderr)
             return 2
-        print(method().text)
+    if args.jobs > 1:
+        exp.prefetch(artifacts=names)
+        _print_shard_summary(exp)
+    for name in names:
+        print(getattr(exp, name)().text)
         print()
     _finish_cache(cache)
     return 0
+
+
+def _print_shard_summary(exp) -> None:
+    stats = exp.shard_stats
+    if stats is None:
+        return
+    cells = ", ".join(f"{name} {seconds:.1f}s" for name, seconds in exp.shard_cells)
+    line = f"sharding: {exp.config.jobs} jobs ({cells})"
+    if stats.files_total:
+        busy = sum(stage.busy_seconds for stage in stats.stages)
+        line += f"; {stats.files_total} pipeline files, {busy:.1f}s stage-busy"
+    print(line)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -206,11 +238,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     exp = Experiments(
         ExperimentConfig(
             scale=args.scale, cache_enabled=cache is not None,
-            execution_backend=args.backend,
+            cache_dir=args.cache_dir, execution_backend=args.backend, jobs=args.jobs,
         ),
         cache=cache,
     )
     path = write_experiments_md(exp, args.out)
+    _print_shard_summary(exp)
     print(f"wrote {path}")
     _finish_cache(cache)
     return 0

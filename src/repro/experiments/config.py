@@ -53,6 +53,11 @@ class ExperimentConfig:
     cache_dir: str | None = None
     #: LRU bound per cache namespace
     cache_max_entries: int = 65536
+    #: worker processes for the experiment matrix (see
+    #: repro.experiments.sharding): 1 = sequential in-process, N > 1
+    #: fans independent (part × flavor) cells over N processes that
+    #: share execute/judge results through an on-disk cache
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
@@ -65,6 +70,8 @@ class ExperimentConfig:
             raise ValueError(
                 f"cache_max_entries must be >= 1, got {self.cache_max_entries}"
             )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
 
     # population sizes -----------------------------------------------------
 
@@ -83,6 +90,20 @@ class ExperimentConfig:
     @property
     def part2_omp_count(self) -> int:
         return _SCALES[self.scale][3]
+
+    def part2_count(self, flavor: str, tag: str = "part2") -> int:
+        """Part-Two population size for a run tag.
+
+        Non-standard tags (the extension runs, e.g. ``fortran-ext``)
+        use a shrunk population: a quarter of the scale, floored at 24
+        so per-issue cells stay populated.  The experiment runner and
+        the sharding cost model both rely on this being the single
+        source of that rule.
+        """
+        count = self.part2_acc_count if flavor == "acc" else self.part2_omp_count
+        if tag != "part2":
+            count = max(24, count // 4)
+        return count
 
     # protocol details -----------------------------------------------------
 

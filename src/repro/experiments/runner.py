@@ -117,11 +117,28 @@ class Experiments:
         self._part1_reports: dict[str, MetricsReport] = {}
         self._part1_populations: dict[str, ProbingSuite] = {}
         self._part2_runs: dict[str, _Part2Run] = {}
+        #: aggregated per-shard pipeline stats from the last prefetch()
+        self.shard_stats = None
+        #: (cell name, wall seconds) per cell from the last prefetch()
+        self.shard_cells: list[tuple[str, float]] = []
 
     def save_cache(self) -> None:
         """Persist the cache's codec namespaces (no-op without cache_dir)."""
         if self.cache is not None:
             self.cache.save()
+
+    def prefetch(self, artifacts: list[str] | None = None, jobs: int | None = None):
+        """Compute the underlying matrix cells across worker processes.
+
+        Fans the (part × flavor) cells that ``artifacts`` need (``None``
+        = every table and figure) over ``jobs`` processes (default
+        ``config.jobs``) and installs the results, so later ``tableN()``
+        / ``figN()`` calls are pure composition.  Sequential fallback
+        with ``jobs=1``.  See :mod:`repro.experiments.sharding`.
+        """
+        from repro.experiments import sharding
+
+        return sharding.prefill(self, artifacts=artifacts, jobs=jobs)
 
     # ------------------------------------------------------------------
     # population construction
@@ -187,10 +204,8 @@ class Experiments:
         key = f"{flavor}:{tag}"
         if key in self._part2_runs:
             return self._part2_runs[key]
-        count = self.config.part2_acc_count if flavor == "acc" else self.config.part2_omp_count
+        count = self.config.part2_count(flavor, tag)
         weights = PART2_ACC_WEIGHTS if flavor == "acc" else PART2_OMP_WEIGHTS
-        if tag != "part2":
-            count = max(24, count // 4)
         population = self._build_population(
             flavor, count, languages or self.config.part2_languages, weights, tag
         )
@@ -437,10 +452,14 @@ class Experiments:
     # ------------------------------------------------------------------
 
     def all_tables(self) -> list[TableResult]:
+        if self.config.jobs > 1:
+            self.prefetch()
         return [
             self.table1(), self.table2(), self.table3(), self.table4(), self.table5(),
             self.table6(), self.table7(), self.table8(), self.table9(),
         ]
 
     def all_figures(self) -> list[FigureResult]:
+        if self.config.jobs > 1:
+            self.prefetch()
         return [self.fig3(), self.fig4(), self.fig5(), self.fig6()]

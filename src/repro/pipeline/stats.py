@@ -39,6 +39,28 @@ class StageStats:
         with self._lock:
             self.skipped += 1
 
+    def merge(self, other: "StageStats") -> None:
+        """Fold another shard's counters into this one (same stage name)."""
+        with self._lock:
+            self.processed += other.processed
+            self.passed += other.passed
+            self.failed += other.failed
+            self.skipped += other.skipped
+            self.busy_seconds += other.busy_seconds
+            self.simulated_seconds += other.simulated_seconds
+
+    # Locks cannot cross process boundaries; shard workers return their
+    # stats by pickle, so drop the lock on the way out and mint a fresh
+    # one on the way in.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def snapshot(self) -> dict[str, float]:
         with self._lock:
             return {
@@ -71,6 +93,18 @@ class PipelineStats:
     @property
     def stages(self) -> list[StageStats]:
         return [self.compile, self.execute, self.judge, *self.extra.values()]
+
+    def merge(self, other: "PipelineStats") -> None:
+        """Aggregate another run's (or shard's) stats into this one.
+
+        Wall-clock seconds take the max, not the sum: shards run
+        concurrently, so the fleet's wall time is the slowest shard's.
+        Busy/simulated seconds still sum (they measure work done).
+        """
+        for stage in other.stages:
+            self.for_stage(stage.name).merge(stage)
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        self.files_total += other.files_total
 
     def for_stage(self, name: str) -> StageStats:
         """The stats slot for ``name``, creating an extra slot if new."""

@@ -1,12 +1,16 @@
 """Unit tests for the content-addressed result cache layer."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cache.bundle import PipelineCache
 from repro.cache.keys import compile_key, content_key, execute_key, judge_key
-from repro.cache.store import ResultCache
+from repro.cache.store import Codec, ResultCache
 from repro.cache.wrappers import (
     CachingAgentJudge,
     CachingCompiler,
@@ -174,6 +178,106 @@ class TestPersistence:
         CachingCompiler(Compiler("acc"), cache.compile).compile(valid_acc_source, "t.c")
         cache.save()
         assert not (tmp_path / "compile.json").exists()
+
+
+_PLAIN_CODEC = Codec(encode=lambda value: value, decode=lambda value: value)
+
+# Worker for the concurrent-save test: fill a namespace with tagged
+# entries, then hammer save_to() so two processes' merge windows
+# interleave.  Run as `python -c SCRIPT tag dir rounds`.
+_WRITER_SCRIPT = """
+import sys
+from repro.cache.store import Codec, ResultCache
+
+tag, directory, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+cache = ResultCache("judge", codec=Codec(lambda v: v, lambda v: v))
+for i in range(50):
+    cache.put(f"{tag}:{i}", {"tag": tag, "i": i})
+for _ in range(rounds):
+    assert cache.save_to(directory) is not None
+"""
+
+
+class TestConcurrentProcesses:
+    """Shard-safety of the on-disk namespaces (the PR-3 sharding layer
+    has worker processes saving to one shared cache directory)."""
+
+    def _writer_env(self):
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def test_sequential_saves_merge_instead_of_clobbering(self, tmp_path):
+        first = ResultCache("judge", codec=_PLAIN_CODEC)
+        first.put("a", 1)
+        first.save_to(tmp_path)
+        second = ResultCache("judge", codec=_PLAIN_CODEC)
+        second.put("b", 2)
+        second.save_to(tmp_path)
+
+        merged = ResultCache("judge", codec=_PLAIN_CODEC)
+        assert merged.load_from(tmp_path) == 2
+        assert merged.get("a") == 1 and merged.get("b") == 2
+
+    def test_in_memory_value_wins_on_key_overlap(self, tmp_path):
+        stale = ResultCache("judge", codec=_PLAIN_CODEC)
+        stale.put("k", "old")
+        stale.save_to(tmp_path)
+        fresh = ResultCache("judge", codec=_PLAIN_CODEC)
+        fresh.put("k", "new")
+        fresh.save_to(tmp_path)
+        reread = ResultCache("judge", codec=_PLAIN_CODEC)
+        reread.load_from(tmp_path)
+        assert reread.get("k") == "new"
+
+    def test_merged_file_honours_max_entries(self, tmp_path):
+        big = ResultCache("judge", codec=_PLAIN_CODEC)
+        for i in range(5):
+            big.put(f"old:{i}", i)
+        big.save_to(tmp_path)
+
+        bounded = ResultCache("judge", max_entries=3, codec=_PLAIN_CODEC)
+        bounded.put("new", 99)
+        bounded.save_to(tmp_path)
+
+        payload = json.loads((tmp_path / "judge.json").read_text())
+        assert len(payload) == 3  # capped, not 6
+        assert payload["new"] == 99  # this process's entries survive
+
+    def test_merge_survives_corrupt_disk_payload(self, tmp_path):
+        (tmp_path / "judge.json").write_text("{definitely not json")
+        cache = ResultCache("judge", codec=_PLAIN_CODEC)
+        cache.put("a", 1)
+        assert cache.save_to(tmp_path) is not None
+        reread = ResultCache("judge", codec=_PLAIN_CODEC)
+        assert reread.load_from(tmp_path) == 1
+
+    def test_two_processes_write_same_namespace_losslessly(self, tmp_path):
+        """Two live processes repeatedly saving the same namespace must
+        not lose or corrupt entries (flock + merge-on-save + atomic
+        rename)."""
+        env = self._writer_env()
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, tag, str(tmp_path), "25"],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for tag in ("left", "right")
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+
+        merged = ResultCache("judge", codec=_PLAIN_CODEC)
+        assert merged.load_from(tmp_path) == 100
+        for tag in ("left", "right"):
+            for i in range(50):
+                assert merged.get(f"{tag}:{i}") == {"tag": tag, "i": i}
 
 
 class TestPipelineEquivalence:

@@ -88,6 +88,13 @@ class TestCLI:
         rc = cli_main(["experiment", "table42", "--scale", "tiny"])
         assert rc == 2
 
+    def test_jobs_must_be_positive(self, capsys):
+        """--jobs 0 is an argparse error (exit 2), not a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["experiment", "table1", "--scale", "tiny", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             cli_main([])

@@ -1,0 +1,75 @@
+"""Documentation integrity: links resolve, documented commands exist.
+
+This is the tier-1 half of the CI docs job (the other half smoke-runs
+``examples/quickstart.py``): every relative markdown link in the
+documentation surface must point at a real file, and the example
+scripts documented in docs/EXAMPLES.md must all exist (and vice
+versa).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DOC_FILES = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "docs/RUNBOOK.md",
+    "docs/EXAMPLES.md",
+]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = _LINK.findall(path.read_text())
+    return [
+        link
+        for link in links
+        if not link.startswith(("http://", "https://", "mailto:", "#"))
+    ]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_doc_exists(doc):
+    assert (REPO_ROOT / doc).is_file(), f"missing documentation file {doc}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_relative_links_resolve(doc):
+    source = REPO_ROOT / doc
+    broken = []
+    for link in _relative_links(source):
+        target = (source.parent / link.split("#", 1)[0]).resolve()
+        if not target.exists():
+            broken.append(link)
+    assert not broken, f"{doc} has broken links: {broken}"
+
+
+def test_examples_doc_covers_every_script():
+    documented = set(re.findall(r"^## (\S+\.py)", (REPO_ROOT / "docs/EXAMPLES.md").read_text(), re.M))
+    on_disk = {path.name for path in (REPO_ROOT / "examples").glob("*.py")}
+    assert documented == on_disk, (
+        f"docs/EXAMPLES.md out of sync with examples/: "
+        f"undocumented={sorted(on_disk - documented)}, stale={sorted(documented - on_disk)}"
+    )
+
+
+def test_readme_quickstart_names_the_tier1_command():
+    text = (REPO_ROOT / "README.md").read_text()
+    assert "python -m pytest -x -q" in text
+    assert "PYTHONPATH=src" in text
+
+
+def test_runbook_documents_every_benchmark_gate():
+    text = (REPO_ROOT / "docs/RUNBOOK.md").read_text()
+    for gate in (
+        "test_pipeline_throughput.py",
+        "test_interpreter_throughput.py",
+        "test_experiment_sharding.py",
+    ):
+        assert gate in text, f"RUNBOOK does not mention {gate}"
+        assert (REPO_ROOT / "benchmarks" / gate).is_file()
