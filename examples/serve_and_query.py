@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Validation-as-a-service: run the daemon in-process and query it.
+
+Starts the HTTP serving layer on an ephemeral port, fires a burst of
+concurrent validation requests at it (so the micro-batcher actually
+groups them), inspects ``/v1/stats``, makes one judge-only call, and
+drains gracefully.  The same daemon runs standalone via::
+
+    llm4vv serve --port 8347 --cache-dir .cache
+    llm4vv client my_test.c --port 8347
+
+Run:  python examples/serve_and_query.py
+"""
+
+import threading
+
+from repro.service import ServiceClient, make_server
+
+VALID_TEST = r"""
+#include <stdio.h>
+#include <stdlib.h>
+#include <openacc.h>
+#define N 128
+
+int main() {
+    double a[N];
+    double expected[N];
+    int err = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (double)i;
+        expected[i] = a[i] * 2.0 + 1.0;
+    }
+#pragma acc parallel loop copy(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = a[i] * 2.0 + 1.0;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != expected[i]) {
+            err = err + 1;
+        }
+    }
+    if (err != 0) {
+        printf("FAILED with %d errors\n", err);
+        return 1;
+    }
+    printf("PASSED\n");
+    return 0;
+}
+"""
+
+# drop the opening brace of main(): fails at the compile stage
+BROKEN_TEST = VALID_TEST.replace("{", "", 1)
+
+
+def main() -> None:
+    # 1. the daemon: ThreadingHTTPServer + micro-batching admission
+    server = make_server(port=0, max_latency=0.02, max_batch_size=8)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    print(f"daemon up on http://{host}:{port}")
+
+    client = ServiceClient(host=host, port=port)
+    print("health:", client.healthz())
+
+    # 2. a concurrent burst: ten clients, one shared pipeline batch
+    def hit(index: int, source: str, results: dict) -> None:
+        results[index] = client.validate({f"candidate_{index}.c": source})
+
+    results: dict[int, dict] = {}
+    threads = [
+        threading.Thread(
+            target=hit,
+            args=(i, VALID_TEST if i % 2 == 0 else BROKEN_TEST, results),
+        )
+        for i in range(10)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for index in sorted(results):
+        verdict = results[index]["verdicts"][0]
+        batch = results[index]["batch"]
+        print(
+            f"  candidate_{index}.c: {verdict['verdict']:7s} "
+            f"at {verdict['stage']} stage (batch of {batch['size']})"
+        )
+
+    # 3. live introspection: batching counters, pipeline stats, cache
+    stats = client.stats()
+    batching = stats["service"]["batching"]
+    pipeline = stats["pipeline"]
+    print(
+        f"batching: {batching['completed']} requests in "
+        f"{batching['batches']} batches (largest {batching['largest_batch']})"
+    )
+    print(
+        f"pipeline: {pipeline['files_total']} files, "
+        f"judge skipped {pipeline['judge_invocations_saved']} "
+        f"(early exit at compile/execute)"
+    )
+
+    # 4. judge-only call: no pipeline, just the agent judge
+    judged = client.judge("candidate_0.c", VALID_TEST)
+    print(f"judge-only: says_valid={judged['says_valid']}")
+
+    # 5. graceful drain: queued work finishes, then the listener stops
+    server.drain_and_shutdown()
+    server.server_close()
+    print("drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

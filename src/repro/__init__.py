@@ -12,7 +12,9 @@ Public API (see README for the tour):
   deepseek-coder-33B judge and the three prompting strategies;
 * :mod:`repro.pipeline` — the staged, parallel validation pipeline;
 * :mod:`repro.metrics` — per-issue accuracy, overall accuracy, bias;
-* :mod:`repro.experiments` — regenerate every table and figure.
+* :mod:`repro.experiments` — regenerate every table and figure;
+* :mod:`repro.service` — the validation daemon (HTTP, micro-batched
+  admission) and its client.
 """
 
 from repro.core import JudgedFile, TestsuiteValidator, ValidationReport

@@ -81,3 +81,39 @@ class PipelineCache:
             "misses": self.misses,
             "namespaces": {ns.name: ns.snapshot() for ns in self.namespaces},
         }
+
+
+#: Every namespace a :class:`PipelineCache` persists or holds in memory.
+NAMESPACE_NAMES = ("compile", "execute", "judge")
+
+
+def disk_summary(directory: str | Path) -> dict[str, dict[str, object] | None]:
+    """Per-namespace on-disk counters for a ``--cache-dir`` directory.
+
+    The operational counterpart of :meth:`PipelineCache.summary`:
+    entries/bytes/corruption per namespace *without* decoding values
+    into memory (``None`` marks a namespace with no persisted file —
+    the memory-only compile cache always reads as ``None``).
+    """
+    return {
+        name: ResultCache.disk_snapshot(directory, name)
+        for name in NAMESPACE_NAMES
+    }
+
+
+def purge_dir(directory: str | Path, namespace: str | None = None) -> list[str]:
+    """Remove persisted cache files; returns the namespaces purged.
+
+    ``namespace=None`` purges every namespace.  Deletions take each
+    namespace's writer lock (the flock protocol shards use), so a purge
+    concurrent with a saving shard removes either the old file or the
+    new one — never leaves a torn mix.
+    """
+    if namespace is not None and namespace not in NAMESPACE_NAMES:
+        raise ValueError(
+            f"unknown namespace {namespace!r} (have {list(NAMESPACE_NAMES)})"
+        )
+    names = NAMESPACE_NAMES if namespace is None else (namespace,)
+    return [
+        name for name in names if ResultCache.purge_namespace(directory, name)
+    ]

@@ -184,6 +184,54 @@ class ResultCache:
             return None
         return path
 
+    @staticmethod
+    def disk_snapshot(directory: str | Path, name: str) -> dict[str, object] | None:
+        """Counters for ``<directory>/<name>.json`` without loading values.
+
+        Returns ``None`` when the namespace has no persisted file;
+        otherwise entry count, payload size and a corruption flag (a
+        corrupt file reads as zero entries, mirroring
+        :meth:`load_from`'s cold-cache tolerance).
+        """
+        path = Path(directory) / f"{name}.json"
+        try:
+            size = path.stat().st_size
+        except OSError:
+            # absent — or unlinked by a concurrent purge/save between
+            # calls; either way the namespace has no persisted file
+            return None
+        snapshot: dict[str, object] = {"bytes": size}
+        try:
+            payload = json.loads(path.read_text())
+            snapshot["entries"] = len(payload) if isinstance(payload, dict) else 0
+            snapshot["corrupt"] = not isinstance(payload, dict)
+        except (json.JSONDecodeError, OSError, ValueError):
+            snapshot["entries"] = 0
+            snapshot["corrupt"] = True
+        return snapshot
+
+    @staticmethod
+    def purge_namespace(directory: str | Path, name: str) -> bool:
+        """Delete one namespace's persisted file (and stray temp files).
+
+        Runs under the same ``<name>.json.lock`` writers take, so a
+        purge cannot race a concurrent :meth:`save_to` into resurrecting
+        half a file.  Returns True when a persisted file was removed.
+        """
+        directory = Path(directory)
+        path = directory / f"{name}.json"
+        removed = False
+        if not directory.is_dir():
+            return False
+        with _interprocess_lock(directory / f"{name}.json.lock"):
+            if path.exists():
+                path.unlink()
+                removed = True
+            for stray in directory.glob(f"{name}.json.*.tmp"):
+                with contextlib.suppress(OSError):
+                    stray.unlink()
+        return removed
+
     def load_from(self, directory: str | Path) -> int:
         """Merge entries from ``<directory>/<name>.json``; returns count.
 

@@ -6,17 +6,59 @@ Subcommands:
 * ``generate`` — emit a synthetic V&V corpus to a directory;
 * ``probe`` — apply negative probing to a saved suite;
 * ``experiment <tableN|figN|all>`` — regenerate paper artifacts;
-* ``report`` — write EXPERIMENTS.md (paper-vs-measured).
+* ``report`` — write EXPERIMENTS.md (paper-vs-measured);
+* ``serve`` — run the validation daemon (HTTP, batched admission);
+* ``client`` — validate files against a running daemon;
+* ``cache`` — inspect or purge an on-disk ``--cache-dir``.
+
+Every command shuts down gracefully: SIGTERM is mapped onto
+``KeyboardInterrupt``, in-flight schedulers drain via their sentinel
+path, and any configured cache flushes to disk before the process
+exits (so an interrupted sweep still warm-starts the next one).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 from pathlib import Path
 
 
 def main(argv: list[str] | None = None) -> int:
+    with _graceful_sigterm():
+        try:
+            return _main(argv)
+        except KeyboardInterrupt:
+            print("\ninterrupted — state flushed, exiting", file=sys.stderr)
+            return 130
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Map SIGTERM onto KeyboardInterrupt for the duration of a command.
+
+    One code path then covers Ctrl-C and a supervisor's TERM: the
+    scheduler's abort/drain runs, each command's ``finally`` persists
+    its cache, and the process exits 130 instead of dying mid-write.
+    Signal handlers only work on the main thread; elsewhere (tests
+    driving ``main()`` from workers) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _on_term(signum, frame):
+        raise KeyboardInterrupt
+    previous = signal.signal(signal.SIGTERM, _on_term)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="llm4vv",
         description="LLM-as-a-Judge validation of OpenACC/OpenMP compiler tests",
@@ -94,6 +136,65 @@ def main(argv: list[str] | None = None) -> int:
     add_backend_flag(p_report)
     add_jobs_flag(p_report)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the validation daemon (POST /v1/validate)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8347,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=positive_int, default=8, metavar="N",
+        help="micro-batch size cutoff: a full batch dispatches at once",
+    )
+    p_serve.add_argument(
+        "--max-latency-ms", type=float, default=20.0, metavar="MS",
+        help="micro-batch latency cutoff: an open batch waits at most "
+             "MS milliseconds for company",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=positive_int, default=64, metavar="N",
+        help="admission queue bound; beyond it requests get HTTP 429",
+    )
+    p_serve.add_argument(
+        "--workers", type=positive_int, default=2,
+        help="compile/execute worker threads per pipeline",
+    )
+    p_serve.add_argument(
+        "--judge-workers", type=positive_int, default=1,
+        help="judge worker threads per pipeline",
+    )
+    p_serve.add_argument("--model-seed", type=int, default=20240822)
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    add_cache_flags(p_serve)
+
+    p_client = sub.add_parser(
+        "client", help="validate files against a running daemon"
+    )
+    p_client.add_argument("files", nargs="*", help="source files to validate")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8347)
+    p_client.add_argument("--flavor", choices=("acc", "omp"), default="acc")
+    p_client.add_argument("--judge", choices=("direct", "indirect"), default="direct")
+    p_client.add_argument("--no-early-exit", action="store_true")
+    add_backend_flag(p_client)
+    p_client.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's /v1/stats after (or instead of) validating",
+    )
+
+    p_cache = sub.add_parser("cache", help="inspect or purge an on-disk cache")
+    p_cache.add_argument("action", choices=("stats", "purge"))
+    p_cache.add_argument("--cache-dir", required=True, metavar="DIR")
+    p_cache.add_argument(
+        "--namespace", default=None, metavar="NS",
+        help="restrict 'purge' to one namespace (default: all); "
+             "validated against the cache bundle's namespaces",
+    )
+
     args = parser.parse_args(argv)
     return _dispatch(args)
 
@@ -109,6 +210,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_experiment(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -143,22 +250,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     for path in args.files:
         sources[Path(path).name] = Path(path).read_text()
     cache = _make_cache(args)
-    validator = TestsuiteValidator(
-        flavor=args.flavor,
-        judge_kind=args.judge,
-        early_exit=not args.no_early_exit,
-        workers=args.workers,
-        cache=cache,
-        execution_backend=args.backend,
-    )
-    report = validator.validate_sources(sources)
-    for judged in report.files:
-        marker = "PASS" if judged.is_valid else "FAIL"
-        print(f"[{marker}] {judged.name} ({judged.stage}): {judged.reason}")
-    summary = report.summary()
-    print(f"\n{summary['valid']}/{summary['total']} files judged valid")
-    _finish_cache(cache)
-    return 0 if not report.invalid_files else 1
+    try:
+        validator = TestsuiteValidator(
+            flavor=args.flavor,
+            judge_kind=args.judge,
+            early_exit=not args.no_early_exit,
+            workers=args.workers,
+            cache=cache,
+            execution_backend=args.backend,
+        )
+        report = validator.validate_sources(sources)
+        for judged in report.files:
+            marker = "PASS" if judged.is_valid else "FAIL"
+            print(f"[{marker}] {judged.name} ({judged.stage}): {judged.reason}")
+        summary = report.summary()
+        print(f"\n{summary['valid']}/{summary['total']} files judged valid")
+        return 0 if not report.invalid_files else 1
+    finally:
+        # also reached on KeyboardInterrupt/SIGTERM: the scheduler has
+        # drained by now, so persist whatever work completed
+        _finish_cache(cache)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -192,41 +303,45 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, Experiments
 
     cache = _make_cache(args)
-    exp = Experiments(
-        ExperimentConfig(
-            scale=args.scale, seed=args.seed, cache_enabled=cache is not None,
-            cache_dir=args.cache_dir, execution_backend=args.backend, jobs=args.jobs,
-        ),
-        cache=cache,
-    )
-    names = (
-        [f"table{i}" for i in range(1, 10)] + [f"fig{i}" for i in range(3, 7)]
-        if args.artifact == "all"
-        else [args.artifact]
-    )
-    for name in names:
-        if getattr(exp, name, None) is None:
-            print(f"unknown artifact {name!r}", file=sys.stderr)
-            return 2
-    if args.jobs > 1:
-        exp.prefetch(artifacts=names)
-        _print_shard_summary(exp)
-    for name in names:
-        print(getattr(exp, name)().text)
-        print()
-    _finish_cache(cache)
-    return 0
+    try:
+        exp = Experiments(
+            ExperimentConfig(
+                scale=args.scale, seed=args.seed, cache_enabled=cache is not None,
+                cache_dir=args.cache_dir, execution_backend=args.backend, jobs=args.jobs,
+            ),
+            cache=cache,
+        )
+        names = (
+            [f"table{i}" for i in range(1, 10)] + [f"fig{i}" for i in range(3, 7)]
+            if args.artifact == "all"
+            else [args.artifact]
+        )
+        for name in names:
+            if getattr(exp, name, None) is None:
+                print(f"unknown artifact {name!r}", file=sys.stderr)
+                return 2
+        if args.jobs > 1:
+            exp.prefetch(artifacts=names)
+            _print_shard_summary(exp)
+        for name in names:
+            print(getattr(exp, name)().text)
+            print()
+        return 0
+    finally:
+        _finish_cache(cache)
 
 
 def _print_shard_summary(exp) -> None:
     stats = exp.shard_stats
     if stats is None:
         return
+    # one consistent snapshot rather than live counter reads
+    snap = stats.snapshot()
     cells = ", ".join(f"{name} {seconds:.1f}s" for name, seconds in exp.shard_cells)
     line = f"sharding: {exp.config.jobs} jobs ({cells})"
-    if stats.files_total:
-        busy = sum(stage.busy_seconds for stage in stats.stages)
-        line += f"; {stats.files_total} pipeline files, {busy:.1f}s stage-busy"
+    if snap["files_total"]:
+        busy = sum(stage["busy_seconds"] for stage in snap["stages"].values())
+        line += f"; {snap['files_total']} pipeline files, {busy:.1f}s stage-busy"
     print(line)
 
 
@@ -235,17 +350,147 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_experiments_md
 
     cache = _make_cache(args)
-    exp = Experiments(
-        ExperimentConfig(
-            scale=args.scale, cache_enabled=cache is not None,
-            cache_dir=args.cache_dir, execution_backend=args.backend, jobs=args.jobs,
-        ),
+    try:
+        exp = Experiments(
+            ExperimentConfig(
+                scale=args.scale, cache_enabled=cache is not None,
+                cache_dir=args.cache_dir, execution_backend=args.backend, jobs=args.jobs,
+            ),
+            cache=cache,
+        )
+        path = write_experiments_md(exp, args.out)
+        _print_shard_summary(exp)
+        print(f"wrote {path}")
+        return 0
+    finally:
+        _finish_cache(cache)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import make_server
+
+    cache = _make_cache(args)
+    server = make_server(
+        host=args.host,
+        port=args.port,
         cache=cache,
+        quiet=not args.verbose,
+        model_seed=args.model_seed,
+        workers=args.workers,
+        judge_workers=args.judge_workers,
+        max_batch_size=args.max_batch,
+        max_latency=args.max_latency_ms / 1000.0,
+        queue_capacity=args.queue_capacity,
     )
-    path = write_experiments_md(exp, args.out)
-    _print_shard_summary(exp)
-    print(f"wrote {path}")
-    _finish_cache(cache)
+    host, port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(batch<={args.max_batch}, latency<={args.max_latency_ms:g}ms, "
+        f"queue<={args.queue_capacity}) — POST /v1/validate, GET /v1/stats",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        # Ctrl-C or SIGTERM: finish queued requests, flush the cache,
+        # then stop the listener — never die mid-batch or mid-write.
+        # The drain runs on a helper thread while the listener keeps
+        # answering (new POSTs get the documented 503, /healthz shows
+        # "draining"); a second interrupt stops the listener at once.
+        print("draining...", file=sys.stderr, flush=True)
+        drainer = threading.Thread(target=server.drain_and_shutdown, daemon=True)
+        drainer.start()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.shutdown()
+        drainer.join(timeout=30.0)
+    finally:
+        server.server_close()
+        snap = server.service.batcher.snapshot()
+        print(
+            f"served {snap['completed']} request(s) in {snap['batches']} "
+            f"batch(es), rejected {snap['rejected']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    if not args.files and not args.stats:
+        print("client: need source files and/or --stats", file=sys.stderr)
+        return 2
+    try:
+        sources = {Path(path).name: Path(path).read_text() for path in args.files}
+    except OSError as exc:
+        print(f"client: cannot read source file: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        exit_code = 0
+        if args.files:
+            response = client.validate(
+                sources,
+                flavor=args.flavor,
+                judge=args.judge,
+                early_exit=not args.no_early_exit,
+                backend=args.backend,
+            )
+            for verdict in response["verdicts"]:
+                marker = "PASS" if verdict["verdict"] == "valid" else "FAIL"
+                print(f"[{marker}] {verdict['name']} ({verdict['stage']}): {verdict['reason']}")
+            summary = response["summary"]
+            timings = response["timings"]
+            print(
+                f"\n{summary['valid']}/{summary['total']} files judged valid "
+                f"(queued {timings['queued_ms']:.1f}ms, "
+                f"pipeline {timings['wall_ms']:.1f}ms, "
+                f"batch of {response['batch']['size']})"
+            )
+            exit_code = 0 if summary["invalid"] == 0 else 1
+        if args.stats:
+            import json as _json
+
+            print(_json.dumps(client.stats(), indent=2))
+        return exit_code
+    except ServiceError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 3
+    except OSError as exc:
+        print(f"client: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 3
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache.bundle import disk_summary, purge_dir
+
+    directory = Path(args.cache_dir)
+    if args.action == "stats":
+        if not directory.is_dir():
+            print(f"cache: no such directory {directory}", file=sys.stderr)
+            return 2
+        total = 0
+        for name, snap in disk_summary(directory).items():
+            if snap is None:
+                print(f"{name}: no persisted file")
+                continue
+            state = " (corrupt)" if snap["corrupt"] else ""
+            print(f"{name}: {snap['entries']} entries, {snap['bytes']} bytes{state}")
+            total += snap["entries"]
+        print(f"total: {total} persisted entries in {directory}")
+        return 0
+    try:
+        purged = purge_dir(directory, namespace=args.namespace)
+    except ValueError as exc:  # unknown namespace, per the bundle's list
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+    scope = args.namespace or "all namespaces"
+    if purged:
+        print(f"purged {', '.join(purged)} from {directory}")
+    else:
+        print(f"nothing to purge for {scope} in {directory}")
     return 0
 
 

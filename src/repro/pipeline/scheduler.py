@@ -24,6 +24,7 @@ how items move.
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import threading
 import time
@@ -53,6 +54,9 @@ class SchedulerResult:
     stats: dict[str, StageStats] = field(default_factory=dict)
     errors: list[StageError] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: True when :meth:`StageScheduler.abort` cut the run short; the
+    #: ``finished`` list then holds only the items that completed.
+    aborted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -102,6 +106,7 @@ class StageScheduler:
         self.stages = list(stages)
         self.queue_capacity = queue_capacity
         self._index = {name: i for i, name in enumerate(names)}
+        self._abort = threading.Event()
         provided = dict(stats or {})
         self.stats = {
             name: provided.get(name) or StageStats(name) for name in names
@@ -109,8 +114,33 @@ class StageScheduler:
 
     # ------------------------------------------------------------------
 
+    def abort(self) -> None:
+        """Ask a running :meth:`run` to wind down early.
+
+        The feeder stops enqueuing new items and every worker starts
+        passing queued items through unprocessed, so the run drains via
+        the normal sentinel path instead of grinding through its
+        backlog.  Items already inside a stage's ``process`` complete;
+        everything else is dropped.  Safe to call from any thread (a
+        signal handler, a supervising thread, a stage itself).  Note
+        the service's graceful drain deliberately does *not* abort:
+        its contract is that admitted requests finish.
+        """
+        self._abort.set()
+
+    @property
+    def aborting(self) -> bool:
+        return self._abort.is_set()
+
     def run(self, items: Sequence[Any]) -> SchedulerResult:
-        """Push ``items`` through the stage chain; block until drained."""
+        """Push ``items`` through the stage chain; block until drained.
+
+        ``KeyboardInterrupt`` (Ctrl-C, or SIGTERM re-raised as one by
+        the CLI) triggers the same early-drain as :meth:`abort` before
+        propagating, so worker threads are parked — not abandoned mid-
+        item — and a caller's ``finally`` can flush caches safely.
+        """
+        self._abort.clear()
         result = SchedulerResult(stats=self.stats)
         finished_lock = threading.Lock()
 
@@ -156,6 +186,10 @@ class StageScheduler:
                 if item is _SENTINEL:
                     q.task_done()
                     return
+                if self._abort.is_set():
+                    # aborting: drain the backlog without processing it
+                    q.task_done()
+                    continue
                 t0 = time.perf_counter()
                 try:
                     outcome = stage.process(item, state)
@@ -189,19 +223,46 @@ class StageScheduler:
         for i, stage in enumerate(self.stages):
             pools.append(_spawn(lambda i=i: worker(i), max(1, stage.workers)))
 
-        for item in items:
-            queues[0].put(item)
+        try:
+            for item in items:
+                # abort-aware feed: a bounded queue's put would otherwise
+                # block forever once workers stop consuming
+                while not self._abort.is_set():
+                    try:
+                        queues[0].put(item, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if self._abort.is_set():
+                    break
 
-        # Drain front to back: routing is forward-only, so once stage i's
-        # queue is empty and its workers are parked, nothing can ever
-        # enqueue to stage i again.
-        for q, pool in zip(queues, pools):
-            q.join()
-            for _ in pool:
-                q.put(_SENTINEL)
-            for thread in pool:
-                thread.join()
+            # Drain front to back: routing is forward-only, so once stage
+            # i's queue is empty and its workers are parked, nothing can
+            # ever enqueue to stage i again.
+            for q, pool in zip(queues, pools):
+                q.join()
+                for _ in pool:
+                    q.put(_SENTINEL)
+                for thread in pool:
+                    thread.join()
+        except KeyboardInterrupt:
+            self._abort.set()
+            # workers are now fast-draining their backlogs; park every
+            # pool through the sentinel path so no thread is left mid-
+            # run.  Sentinels go in non-blocking (a full queue just gets
+            # retried — live workers are consuming it) so this path can
+            # never itself wedge on a bounded queue.
+            for q, pool in zip(queues, pools):
+                for thread in pool:
+                    while thread.is_alive():
+                        with contextlib.suppress(queue.Full):
+                            q.put_nowait(_SENTINEL)
+                        thread.join(timeout=0.05)
+            result.aborted = True
+            result.wall_seconds = time.perf_counter() - started
+            raise
 
+        result.aborted = self._abort.is_set()
         result.wall_seconds = time.perf_counter() - started
         return result
 

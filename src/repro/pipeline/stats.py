@@ -89,22 +89,46 @@ class PipelineStats:
     extra: dict[str, StageStats] = field(default_factory=dict)
     wall_seconds: float = 0.0
     files_total: int = 0
+    #: serialises merge() against snapshot() so an aggregate reader (the
+    #: service's /v1/stats) never sees a batch half-folded-in
+    _merge_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def stages(self) -> list[StageStats]:
         return [self.compile, self.execute, self.judge, *self.extra.values()]
 
-    def merge(self, other: "PipelineStats") -> None:
+    def merge(self, other: "PipelineStats", concurrent: bool = True) -> None:
         """Aggregate another run's (or shard's) stats into this one.
 
-        Wall-clock seconds take the max, not the sum: shards run
-        concurrently, so the fleet's wall time is the slowest shard's.
-        Busy/simulated seconds still sum (they measure work done).
+        With ``concurrent=True`` (shards racing each other) wall-clock
+        seconds take the max — the fleet's wall time is the slowest
+        shard's.  With ``concurrent=False`` (the service folding in
+        one batch after another) walls sum, so derived throughput
+        reflects the whole serving period, not the slowest batch.
+        Busy/simulated seconds always sum (they measure work done).
         """
-        for stage in other.stages:
-            self.for_stage(stage.name).merge(stage)
-        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
-        self.files_total += other.files_total
+        with self._merge_lock:
+            for stage in other.stages:
+                self.for_stage(stage.name).merge(stage)
+            if concurrent:
+                self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+            else:
+                self.wall_seconds += other.wall_seconds
+            self.files_total += other.files_total
+
+    # Like StageStats, the lock cannot cross process boundaries (shard
+    # workers return PipelineStats by pickle): drop it on the way out,
+    # mint a fresh one on the way in.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_merge_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._merge_lock = threading.Lock()
 
     def for_stage(self, name: str) -> StageStats:
         """The stats slot for ``name``, creating an extra slot if new."""
@@ -132,12 +156,32 @@ class PipelineStats:
         """Files the early-exit policy kept away from the LLM."""
         return self.judge.skipped
 
-    def summary(self) -> dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
+        """One consistent copy of every counter.
+
+        Each stage's counters are copied under that stage's lock, the
+        whole copy is serialised against :meth:`merge` (so an aggregate
+        reader like the service's ``/v1/stats`` never sees a batch
+        half-folded-in), and every derived figure (throughput,
+        simulated totals, judge savings) is computed from the copies —
+        never from counters read at two different instants.
+        """
+        with self._merge_lock:
+            stages = {stage.name: stage.snapshot() for stage in self.stages}
+            wall = self.wall_seconds
+            files = self.files_total
+        simulated = sum(snap["simulated_seconds"] for snap in stages.values())
+        judge = stages.get("judge", {})
         return {
-            "files_total": self.files_total,
-            "wall_seconds": round(self.wall_seconds, 4),
-            "throughput_files_per_second": round(self.throughput, 3),
-            "simulated_seconds": round(self.simulated_seconds, 2),
-            "judge_invocations_saved": self.judge_invocations_saved,
-            "stages": {stage.name: stage.snapshot() for stage in self.stages},
+            "files_total": files,
+            "wall_seconds": round(wall, 4),
+            "throughput_files_per_second": (
+                round(files / wall, 3) if wall > 0 else 0.0
+            ),
+            "simulated_seconds": round(simulated, 2),
+            "judge_invocations_saved": judge.get("skipped", 0),
+            "stages": stages,
         }
+
+    def summary(self) -> dict[str, object]:
+        return self.snapshot()

@@ -1,0 +1,38 @@
+"""Validation-as-a-service: the stdlib HTTP serving layer.
+
+The package turns the one-shot pipeline into a long-running daemon:
+
+* :mod:`repro.service.protocol` — the JSON wire contract;
+* :mod:`repro.service.batching` — micro-batching admission with
+  bounded-queue backpressure and graceful drain;
+* :mod:`repro.service.server` — :class:`ValidationService` plus the
+  ``ThreadingHTTPServer`` front-end (``/v1/validate``, ``/v1/judge``,
+  ``/healthz``, ``/v1/stats``);
+* :mod:`repro.service.client` — a stdlib client with 429-aware retry.
+"""
+
+from repro.service.batching import BatchQueueFull, BatcherClosed, MicroBatcher
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.protocol import (
+    JudgeRequest,
+    ProtocolError,
+    ValidateOptions,
+    ValidateRequest,
+)
+from repro.service.server import ValidationServer, ValidationService, make_server
+
+__all__ = [
+    "BatchQueueFull",
+    "BatcherClosed",
+    "JudgeRequest",
+    "MicroBatcher",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "ValidateOptions",
+    "ValidateRequest",
+    "ValidationServer",
+    "ValidationService",
+    "make_server",
+]

@@ -1,0 +1,269 @@
+"""Micro-batching admission: bounded queue, collector thread, futures.
+
+The serving layer's core economics live here.  A request costs one
+queue slot; a collector thread pops slots and groups *compatible*
+requests (equal grouping keys — the service passes the frozen
+:class:`~repro.service.protocol.ValidateOptions` itself) into batches
+bounded by
+two knobs:
+
+* ``max_batch_size`` — a full batch dispatches immediately;
+* ``max_latency`` — an open batch never waits longer than this for
+  company, so a lone request still answers promptly.
+
+One batch becomes one pipeline run, so concurrent clients share the
+StageScheduler's worker pools and the PipelineCache instead of paying
+per-request pipeline setup.  When the queue is full, :meth:`submit`
+raises :class:`BatchQueueFull` — the server's HTTP 429 — which is the
+backpressure contract: the daemon sheds load at admission instead of
+accumulating unbounded work.
+
+:meth:`close` is the graceful-drain half: no new admissions, every
+queued request still gets its answer (or, with ``drain=False``, a
+:class:`BatcherClosed` error), then the collector parks.
+
+The batcher is deliberately generic — payloads are opaque, grouping is
+by an opaque key, and the ``runner`` callback maps one batch of
+payloads to one result per payload — so tests can drive the cutoff
+logic with toy runners and no HTTP anywhere.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+
+class BatchQueueFull(RuntimeError):
+    """Admission queue at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, capacity: int, retry_after: float):
+        super().__init__(f"admission queue full ({depth}/{capacity})")
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class BatcherClosed(RuntimeError):
+    """The batcher is draining or closed; no new work is admitted."""
+
+
+@dataclass
+class _Pending:
+    key: Any
+    payload: Any
+    future: Future
+
+
+class MicroBatcher:
+    """Group submitted payloads into batches for a runner callback.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(key, payloads) -> results`` with exactly one result
+        per payload, in order.  An exception fails every future in the
+        batch.  Runs on the collector thread: batches execute one at a
+        time (parallelism lives *inside* a batch, in the pipeline's
+        worker pools — the single-GPU serving model).
+    max_batch_size / max_latency:
+        The two cutoff knobs described above.
+    capacity:
+        Bound of the admission queue (the 429 threshold).
+    retry_after:
+        Advisory client backoff carried by :class:`BatchQueueFull`.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Any, Sequence[Any]], Sequence[Any]],
+        max_batch_size: int = 8,
+        max_latency: float = 0.02,
+        capacity: int = 64,
+        retry_after: float = 1.0,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_latency < 0:
+            raise ValueError(f"max_latency must be >= 0, got {max_latency}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.runner = runner
+        self.max_batch_size = max_batch_size
+        self.max_latency = max_latency
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+        self._queue: queue.Queue[_Pending] = queue.Queue(maxsize=capacity)
+        # admissions and close() serialise on this lock so no payload can
+        # slip into the queue after the collector's final drain sweep
+        self._admit_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._drained = threading.Event()
+        self._drain_mode = True
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "batches": 0,
+            "size_cutoffs": 0,
+            "latency_cutoffs": 0,
+            "key_cutoffs": 0,
+            "largest_batch": 0,
+        }
+        self._collector = threading.Thread(
+            target=self._collect, name="microbatch-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def submit(self, key: Any, payload: Any) -> Future:
+        """Admit one payload; returns the future carrying its result."""
+        with self._admit_lock:
+            if self._closed.is_set():
+                raise BatcherClosed("batcher is draining; not accepting work")
+            pending = _Pending(key=key, payload=payload, future=Future())
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                self._bump("rejected")
+                raise BatchQueueFull(
+                    self._queue.qsize(), self.capacity, self.retry_after
+                ) from None
+        self._bump("submitted")
+        return pending.future
+
+    @property
+    def depth(self) -> int:
+        """Current admission-queue depth (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def snapshot(self) -> dict[str, int]:
+        """Live counters plus queue geometry, safe to call any time."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        counters["queue_depth"] = self.depth
+        counters["queue_capacity"] = self.capacity
+        counters["max_batch_size"] = self.max_batch_size
+        counters["draining"] = self._closed.is_set()
+        return counters
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> bool:
+        """Stop admitting; finish (or fail) queued work; park the collector.
+
+        With ``drain=True`` every already-admitted request completes
+        normally.  With ``drain=False`` queued requests fail fast with
+        :class:`BatcherClosed`.  Returns True once the collector parked
+        within ``timeout`` seconds.
+        """
+        self._drain_mode = drain
+        with self._admit_lock:
+            self._closed.set()
+        self._drained.wait(timeout)
+        self._collector.join(timeout)
+        return not self._collector.is_alive()
+
+    # ------------------------------------------------------------------
+    # collector
+    # ------------------------------------------------------------------
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[counter] += by
+
+    def _next(self, timeout: float) -> _Pending | None:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def _collect(self) -> None:
+        holdover: _Pending | None = None
+        while True:
+            if self._closed.is_set() and not self._drain_mode:
+                break  # fail-fast close: leftovers are rejected below
+            first = holdover
+            holdover = None
+            if first is None:
+                first = self._next(timeout=0.05)
+            if first is None:
+                if self._closed.is_set():
+                    break
+                continue
+
+            batch = [first]
+            deadline = time.monotonic() + self.max_latency
+            cutoff = "size"
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    cutoff = "latency"
+                    break
+                item = self._next(timeout=remaining)
+                if item is None:
+                    cutoff = "latency"
+                    break
+                if item.key != first.key:
+                    # incompatible request: close this batch, open the next
+                    holdover = item
+                    cutoff = "key"
+                    break
+                batch.append(item)
+
+            self._bump(f"{cutoff}_cutoffs")
+            self._dispatch(first.key, batch)
+
+        # closed: no new admissions can arrive; flush what remains
+        leftovers = [] if holdover is None else [holdover]
+        while True:
+            item = self._next(timeout=0.0)
+            if item is None:
+                break
+            leftovers.append(item)
+        if self._drain_mode:
+            for item in leftovers:
+                self._dispatch(item.key, [item])
+        else:
+            for item in leftovers:
+                item.future.set_exception(BatcherClosed("batcher closed before dispatch"))
+                self._bump("failed")
+        self._drained.set()
+
+    def _dispatch(self, key: Any, batch: list[_Pending]) -> None:
+        self._bump("batches")
+        with self._counter_lock:
+            self._counters["largest_batch"] = max(
+                self._counters["largest_batch"], len(batch)
+            )
+        try:
+            results = self.runner(key, [item.payload for item in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"runner returned {len(results)} results for a "
+                    f"batch of {len(batch)}"
+                )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            for item in batch:
+                item.future.set_exception(exc)
+            self._bump("failed", len(batch))
+        else:
+            for item, result in zip(batch, results):
+                item.future.set_result(result)
+            self._bump("completed", len(batch))

@@ -1,0 +1,136 @@
+"""A stdlib client for the validation daemon.
+
+:class:`ServiceClient` wraps ``http.client`` with the service's JSON
+contract, one connection per call (``Connection: close``), and a
+backpressure-aware retry loop: HTTP 429 sleeps for the server's
+``Retry-After`` hint and retries up to ``max_retries`` times before
+surfacing :class:`ServiceUnavailable` — so a load generator naturally
+paces itself to the daemon's admission queue.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.service.protocol import JudgeRequest, ValidateOptions, ValidateRequest
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str, body: dict | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body or {}
+
+
+class ServiceUnavailable(ServiceError):
+    """429 after exhausting retries, or 503 while draining."""
+
+
+class ServiceClient:
+    """Talk to one running daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8347,
+        timeout: float = 60.0,
+        max_retries: int = 3,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def validate(
+        self,
+        sources: dict[str, str],
+        flavor: str = "acc",
+        judge: str = "direct",
+        early_exit: bool = True,
+        backend: str = "closure",
+    ) -> dict:
+        """Validate named sources; returns the verdict payload."""
+        request = ValidateRequest(
+            files=tuple(sources.items()),
+            options=ValidateOptions(
+                flavor=flavor, judge=judge, early_exit=early_exit, backend=backend
+            ),
+        )
+        return self._request("POST", "/v1/validate", request.to_dict())
+
+    def judge(
+        self,
+        name: str,
+        source: str,
+        flavor: str = "acc",
+        judge: str = "direct",
+        backend: str = "closure",
+        report: dict | None = None,
+    ) -> dict:
+        request = JudgeRequest(
+            name=name, source=source, flavor=flavor, judge=judge,
+            backend=backend, report=report,
+        )
+        return self._request("POST", "/v1/judge", request.to_dict())
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        attempts = 0
+        while True:
+            status, headers, payload = self._roundtrip(method, path, body)
+            if status == 429 and attempts < self.max_retries:
+                attempts += 1
+                time.sleep(_retry_after(headers, payload))
+                continue
+            if 200 <= status < 300:
+                return payload
+            message = payload.get("error", "") if isinstance(payload, dict) else ""
+            if status in (429, 503):
+                raise ServiceUnavailable(status, message or "service unavailable", payload)
+            raise ServiceError(status, message or "request failed", payload)
+
+    def _roundtrip(
+        self, method: str, path: str, body: dict | None
+    ) -> tuple[int, dict, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            encoded = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Connection": "close"}
+            if encoded is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            return response.status, dict(response.headers), payload
+        finally:
+            connection.close()
+
+
+def _retry_after(headers: dict, payload: dict) -> float:
+    """The server's backoff hint (header first, body fallback)."""
+    for source in (headers.get("Retry-After"), payload.get("retry_after")):
+        try:
+            if source is not None:
+                return max(0.05, float(source))
+        except (TypeError, ValueError):
+            continue
+    return 0.5

@@ -1,0 +1,418 @@
+"""The validation daemon: HTTP front-end over the batched pipeline.
+
+:class:`ValidationService` owns the domain side — one
+:class:`TestsuiteValidator` per distinct option set (all sharing one
+simulated model and one :class:`PipelineCache`), the micro-batcher
+that admission-controls ``/v1/validate``, and the lifetime aggregates
+``/v1/stats`` exposes.  :class:`ValidationServer` is a thin
+``ThreadingHTTPServer``: each connection gets a handler thread that
+parses JSON, submits to the service and blocks on its future, so
+concurrency is bounded by the admission queue, not by socket count.
+
+Endpoints
+---------
+* ``POST /v1/validate`` — batched full-pipeline validation;
+* ``POST /v1/judge``    — one synchronous judge-only call;
+* ``GET  /healthz``     — liveness + drain state;
+* ``GET  /v1/stats``    — live batching/pipeline/cache counters.
+
+Load shedding is explicit: a full admission queue answers HTTP 429
+with a ``Retry-After`` header; a draining daemon answers 503.  SIGTERM
+handling lives in the CLI (``llm4vv serve``), which calls
+:meth:`ValidationServer.drain_and_shutdown` — queued requests finish,
+the cache flushes to disk, then the listener stops.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.compiler.driver import detect_language
+from repro.core.validator import TestsuiteValidator
+from repro.corpus.generator import TestFile
+from repro.judge.agent import ToolReport
+from repro.judge.llmj import AgentLLMJ
+from repro.llm.model import DeepSeekCoderSim
+from repro.pipeline.stats import PipelineStats
+from repro.service.batching import BatcherClosed, BatchQueueFull, MicroBatcher
+from repro.service.protocol import (
+    JudgeRequest,
+    ProtocolError,
+    ValidateRequest,
+    encode_verdict,
+    error_body,
+)
+
+
+@dataclass
+class _Admitted:
+    """One admitted validate request, stamped for queue-delay timing."""
+
+    request: ValidateRequest
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class ValidationService:
+    """The domain half of the daemon (no HTTP anywhere in here)."""
+
+    def __init__(
+        self,
+        cache=None,
+        model_seed: int = 20240822,
+        workers: int = 2,
+        judge_workers: int = 1,
+        max_batch_size: int = 8,
+        max_latency: float = 0.02,
+        queue_capacity: int = 64,
+        retry_after: float = 1.0,
+    ):
+        self.cache = cache
+        self.model_seed = model_seed
+        self.model = DeepSeekCoderSim(seed=model_seed)
+        self.workers = workers
+        self.judge_workers = judge_workers
+        self.started_at = time.monotonic()
+        #: lifetime aggregate over every batch's pipeline run
+        self.pipeline_stats = PipelineStats()
+        self._validators: dict[object, TestsuiteValidator] = {}
+        self._validators_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._counters = {"validate_requests": 0, "judge_requests": 0}
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=max_batch_size,
+            max_latency=max_latency,
+            capacity=queue_capacity,
+            retry_after=retry_after,
+        )
+
+    # ------------------------------------------------------------------
+    # request entry points
+    # ------------------------------------------------------------------
+
+    def submit(self, request: ValidateRequest) -> Future:
+        """Admit one validate request (raises BatchQueueFull on pressure)."""
+        future = self.batcher.submit(request.options, _Admitted(request))
+        self._bump("validate_requests")
+        return future
+
+    def judge(self, request: JudgeRequest) -> dict:
+        """One synchronous judge-only call (not batched: no pipeline)."""
+        judge = AgentLLMJ(
+            self.model,
+            request.flavor,
+            kind=request.judge,
+            execution_backend=request.backend,
+        )
+        if self.cache is not None:
+            from repro.cache.wrappers import CachingAgentJudge
+
+            judge = CachingAgentJudge(judge, self.cache.judge)
+        test = TestFile(
+            name=request.name,
+            language=_language_for(request.name),
+            model=request.flavor,
+            source=request.source,
+            template="user",
+        )
+        report = None
+        if request.report is not None:
+            report = ToolReport(
+                compile_rc=request.report["compile_rc"],
+                compile_stderr=request.report.get("compile_stderr") or "",
+                compile_stdout=request.report.get("compile_stdout") or "",
+                run_rc=request.report.get("run_rc"),
+                run_stderr=request.report.get("run_stderr"),
+                run_stdout=request.report.get("run_stdout"),
+                diagnostic_codes=tuple(request.report.get("diagnostic_codes", ())),
+            )
+        t0 = time.perf_counter()
+        result = judge.judge(test, report)
+        self._bump("judge_requests")
+        return {
+            "result": result.to_json(),
+            "says_valid": result.says_valid,
+            "timings": {
+                "wall_ms": round((time.perf_counter() - t0) * 1000, 3),
+                "simulated_seconds": round(result.simulated_seconds, 4),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self.batcher.closed else "ok",
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "queue_depth": self.batcher.depth,
+        }
+
+    def stats_snapshot(self) -> dict:
+        """Everything ``/v1/stats`` serves, copied under the right locks."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "service": {
+                "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+                "model_seed": self.model_seed,
+                **counters,
+                "batching": self.batcher.snapshot(),
+            },
+            "pipeline": self.pipeline_stats.snapshot(),
+            "cache": self.cache.summary() if self.cache is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful wind-down: finish queued work, flush the cache."""
+        parked = self.batcher.close(drain=True, timeout=timeout)
+        if self.cache is not None:
+            self.cache.save()
+        return parked
+
+    # ------------------------------------------------------------------
+    # batch execution (collector thread only)
+    # ------------------------------------------------------------------
+
+    def _bump(self, counter: str) -> None:
+        with self._counter_lock:
+            self._counters[counter] += 1
+
+    def _validator_for(self, options) -> TestsuiteValidator:
+        with self._validators_lock:
+            validator = self._validators.get(options)
+            if validator is None:
+                validator = TestsuiteValidator(
+                    flavor=options.flavor,
+                    judge_kind=options.judge,
+                    early_exit=options.early_exit,
+                    workers=self.workers,
+                    judge_workers=self.judge_workers,
+                    model=self.model,
+                    cache=self.cache,
+                    execution_backend=options.backend,
+                )
+                self._validators[options] = validator
+            return validator
+
+    def _run_batch(self, options, payloads: list[_Admitted]) -> list[dict]:
+        """One micro-batch -> one (or few) shared pipeline runs.
+
+        All payloads share ``options`` (the batcher groups by it), so
+        their files fan through one validator — one StageScheduler run,
+        shared worker pools, shared cache.  The only reason to split a
+        batch is a file-name collision between requests: names must be
+        unique within a pipeline run, so colliding requests go to a
+        follow-up chunk (correctness over batching efficiency).
+        """
+        validator = self._validator_for(options)
+        batch_size = len(payloads)
+        responses: list[dict | None] = [None] * batch_size
+
+        chunk: list[int] = []
+        names: set[str] = set()
+
+        def flush() -> None:
+            if not chunk:
+                return
+            sources: dict[str, str] = {}
+            for index in chunk:
+                sources.update(dict(payloads[index].request.files))
+            dispatched_at = time.monotonic()
+            t0 = time.perf_counter()
+            report = validator.validate_sources(sources)
+            wall_ms = round((time.perf_counter() - t0) * 1000, 3)
+            # batches run one after another: walls sum in the aggregate
+            self.pipeline_stats.merge(report.stats, concurrent=False)
+            stage_snapshot = report.stats.snapshot()["stages"]
+            for index in chunk:
+                payload = payloads[index]
+                verdicts = [
+                    encode_verdict(report.verdict_for(name))
+                    for name, _ in payload.request.files
+                ]
+                valid = sum(1 for v in verdicts if v["verdict"] == "valid")
+                responses[index] = {
+                    "verdicts": verdicts,
+                    "summary": {
+                        "total": len(verdicts),
+                        "valid": valid,
+                        "invalid": len(verdicts) - valid,
+                    },
+                    "timings": {
+                        "queued_ms": round(
+                            (dispatched_at - payload.enqueued_at) * 1000, 3
+                        ),
+                        "wall_ms": wall_ms,
+                        "stages": stage_snapshot,
+                    },
+                    "batch": {"size": batch_size, "chunk": len(chunk)},
+                }
+            chunk.clear()
+            names.clear()
+
+        for i, payload in enumerate(payloads):
+            request_names = {name for name, _ in payload.request.files}
+            if names & request_names:
+                flush()
+            chunk.append(i)
+            names.update(request_names)
+        flush()
+        return responses  # type: ignore[return-value]
+
+
+def _language_for(filename: str) -> str:
+    detected = detect_language(filename)
+    if detected == "fortran":
+        return "f90"
+    return "cpp" if detected == "c++" else "c"
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end
+# ----------------------------------------------------------------------
+
+
+class ValidationServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer wired to one :class:`ValidationService`.
+
+    ``daemon_threads`` is off on purpose: ``server_close`` then joins
+    handler threads, so a drained shutdown cannot cut a response off
+    mid-write.  The listen backlog is raised from the stdlib's 5: a
+    burst of concurrent clients must queue in the kernel, not lose
+    SYNs to a full backlog and stall ~1s in retransmission.
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], service: ValidationService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    def drain_and_shutdown(self, timeout: float | None = 30.0) -> None:
+        """Graceful stop: drain the batcher, flush the cache, stop serving.
+
+        Callable from any thread (the CLI calls it from a signal-driven
+        path while ``serve_forever`` runs in the main thread).
+        """
+        self.service.drain(timeout=timeout)
+        self.shutdown()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache=None,
+    quiet: bool = True,
+    **service_knobs,
+) -> ValidationServer:
+    """Build a ready-to-serve daemon; ``port=0`` picks an ephemeral port."""
+    service = ValidationService(cache=cache, **service_knobs)
+    return ValidationServer((host, port), service, quiet=quiet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "llm4vv-service/1.0"
+
+    # -- helpers -------------------------------------------------------
+
+    def _send(self, status: int, body: dict, headers: dict[str, str] | None = None) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ProtocolError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+
+    @property
+    def _service(self) -> ValidationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if self.path == "/healthz":
+                self._send(200, self._service.health())
+            elif self.path == "/v1/stats":
+                self._send(200, self._service.stats_snapshot())
+            else:
+                self._send(404, error_body(f"unknown path {self.path!r}"))
+        except ConnectionError:
+            pass  # client went away mid-response
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if self.path == "/v1/validate":
+                self._post_validate()
+            elif self.path == "/v1/judge":
+                self._post_judge()
+            else:
+                self._send(404, error_body(f"unknown path {self.path!r}"))
+        except ProtocolError as exc:
+            self._error(400, str(exc))
+        except ConnectionError:
+            pass  # client went away (possibly mid-response): nothing to answer
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            self._error(500, f"internal error: {exc}")
+
+    def _error(self, status: int, message: str) -> None:
+        """Best-effort error response; the socket may already be dead."""
+        try:
+            self._send(status, error_body(message))
+        except OSError:
+            pass
+
+    def _post_validate(self) -> None:
+        request = ValidateRequest.from_dict(self._read_json())
+        try:
+            future = self._service.submit(request)
+        except BatchQueueFull as exc:
+            self._send(
+                429,
+                error_body(
+                    "admission queue full; retry later",
+                    queue_depth=exc.depth,
+                    queue_capacity=exc.capacity,
+                    retry_after=exc.retry_after,
+                ),
+                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+            return
+        except BatcherClosed:
+            self._send(503, error_body("service is draining; not accepting work"))
+            return
+        self._send(200, future.result())
+
+    def _post_judge(self) -> None:
+        request = JudgeRequest.from_dict(self._read_json())
+        self._send(200, self._service.judge(request))

@@ -1,5 +1,7 @@
 """Tests for the public validator API and the CLI."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main as cli_main
@@ -98,3 +100,78 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             cli_main([])
+
+
+class TestCacheCLI:
+    def _warm(self, tmp_path, valid_acc_source) -> str:
+        cache_dir = tmp_path / "cache"
+        source = tmp_path / "good.c"
+        source.write_text(valid_acc_source)
+        assert cli_main(["validate", str(source), "--cache-dir", str(cache_dir)]) == 0
+        return str(cache_dir)
+
+    def test_stats_reports_persisted_namespaces(self, tmp_path, valid_acc_source, capsys):
+        cache_dir = self._warm(tmp_path, valid_acc_source)
+        capsys.readouterr()
+        rc = cli_main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "execute: 1 entries" in out
+        assert "judge: 1 entries" in out
+        assert "compile: no persisted file" in out  # memory-only namespace
+        assert "total: 2 persisted entries" in out
+
+    def test_stats_flags_corruption(self, tmp_path, valid_acc_source, capsys):
+        cache_dir = self._warm(tmp_path, valid_acc_source)
+        (Path(cache_dir) / "judge.json").write_text("{not json")
+        capsys.readouterr()
+        assert cli_main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "judge: 0 entries" in out
+        assert "(corrupt)" in out
+
+    def test_stats_missing_dir_is_an_error(self, tmp_path, capsys):
+        rc = cli_main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")])
+        assert rc == 2
+
+    def test_purge_one_namespace(self, tmp_path, valid_acc_source, capsys):
+        cache_dir = self._warm(tmp_path, valid_acc_source)
+        rc = cli_main(["cache", "purge", "--cache-dir", cache_dir, "--namespace", "judge"])
+        assert rc == 0
+        assert not (Path(cache_dir) / "judge.json").exists()
+        assert (Path(cache_dir) / "execute.json").exists()
+
+    def test_purge_everything(self, tmp_path, valid_acc_source, capsys):
+        cache_dir = self._warm(tmp_path, valid_acc_source)
+        assert cli_main(["cache", "purge", "--cache-dir", cache_dir]) == 0
+        assert not (Path(cache_dir) / "judge.json").exists()
+        assert not (Path(cache_dir) / "execute.json").exists()
+        capsys.readouterr()
+        assert cli_main(["cache", "purge", "--cache-dir", cache_dir]) == 0
+        assert "nothing to purge" in capsys.readouterr().out
+
+
+class TestClientCLI:
+    def test_client_needs_files_or_stats(self, capsys):
+        assert cli_main(["client"]) == 2
+        assert "need source files" in capsys.readouterr().err
+
+    def test_client_unreachable_daemon(self, tmp_path, valid_acc_source, capsys):
+        source = tmp_path / "good.c"
+        source.write_text(valid_acc_source)
+        rc = cli_main(["client", str(source), "--port", "1"])
+        assert rc == 3
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_client_missing_source_file_is_a_usage_error(self, tmp_path, capsys):
+        """A local file typo must not masquerade as a connectivity failure."""
+        rc = cli_main(["client", str(tmp_path / "typo.c"), "--port", "1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot read source file" in err
+        assert "cannot reach" not in err
+
+    def test_cache_purge_unknown_namespace_is_a_usage_error(self, tmp_path, capsys):
+        rc = cli_main(["cache", "purge", "--cache-dir", str(tmp_path), "--namespace", "nope"])
+        assert rc == 2
+        assert "unknown namespace" in capsys.readouterr().err

@@ -70,6 +70,7 @@ def test_runbook_documents_every_benchmark_gate():
         "test_pipeline_throughput.py",
         "test_interpreter_throughput.py",
         "test_experiment_sharding.py",
+        "test_service_throughput.py",
     ):
         assert gate in text, f"RUNBOOK does not mention {gate}"
         assert (REPO_ROOT / "benchmarks" / gate).is_file()

@@ -152,3 +152,65 @@ class TestStats:
 
     def test_throughput_zero_when_no_time(self):
         assert PipelineStats().throughput == 0.0
+
+    def test_merge_wall_semantics(self):
+        """Concurrent shards max their walls; sequential batches sum."""
+        def batch(wall: float) -> PipelineStats:
+            stats = PipelineStats()
+            stats.wall_seconds = wall
+            stats.files_total = 8
+            return stats
+
+        shards = PipelineStats()
+        shards.merge(batch(2.0))
+        shards.merge(batch(3.0))
+        assert shards.wall_seconds == 3.0  # slowest shard
+
+        service = PipelineStats()
+        service.merge(batch(2.0), concurrent=False)
+        service.merge(batch(3.0), concurrent=False)
+        assert service.wall_seconds == 5.0  # whole serving period
+        assert service.snapshot()["throughput_files_per_second"] == round(16 / 5.0, 3)
+
+    def test_snapshot_is_a_detached_consistent_copy(self):
+        stats = PipelineStats()
+        stats.files_total = 4
+        stats.wall_seconds = 2.0
+        stats.judge.record(True, 0.5, simulated=3.0)
+        stats.judge.record_skip()
+        snap = stats.snapshot()
+        assert snap == stats.summary()  # summary is the snapshot
+        assert snap["judge_invocations_saved"] == 1
+        assert snap["throughput_files_per_second"] == 2.0
+        assert snap["simulated_seconds"] == 3.0
+        # later mutation must not leak into the copy
+        stats.judge.record(False, 0.1, simulated=1.0)
+        assert snap["stages"]["judge"]["processed"] == 1
+
+    def test_snapshot_consistent_under_concurrent_writers(self):
+        """Derived figures come from the copied counters, never live ones."""
+        import threading
+
+        stats = PipelineStats()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                stats.judge.record(True, 0.001, simulated=1.0)
+
+        writers = [threading.Thread(target=hammer) for _ in range(3)]
+        for writer in writers:
+            writer.start()
+        try:
+            for _ in range(200):
+                snap = stats.snapshot()
+                judge = snap["stages"]["judge"]
+                # pass/fail split always sums to processed in one snapshot
+                assert judge["passed"] + judge["failed"] == judge["processed"]
+                assert snap["simulated_seconds"] == round(
+                    judge["simulated_seconds"], 2
+                )
+        finally:
+            stop.set()
+            for writer in writers:
+                writer.join()

@@ -173,6 +173,63 @@ class TestErrorContainment:
         assert threading.active_count() == before
 
 
+class TestAbort:
+    def test_abort_drains_without_processing_backlog(self):
+        """abort() parks the run via the sentinel path, skipping the queue."""
+        processed = []
+        lock = threading.Lock()
+
+        class SlowStage(Stage):
+            name = "slow"
+            workers = 1
+
+            def __init__(self):
+                self.scheduler = None
+
+            def process(self, payload, state):
+                with lock:
+                    processed.append(payload)
+                if payload == 0:
+                    self.scheduler.abort()
+                return StageOutcome(payload, ok=True, done=True)
+
+        stage = SlowStage()
+        scheduler = StageScheduler([stage], queue_capacity=4)
+        stage.scheduler = scheduler
+        result = scheduler.run(list(range(64)))
+        assert result.aborted
+        # the first item triggered the abort; the long tail never ran
+        assert len(processed) < 64
+        assert len(result.finished) == len(processed)
+
+    def test_abort_joins_all_worker_threads(self):
+        before = threading.active_count()
+
+        class AbortingStage(Stage):
+            name = "aborting"
+            workers = 3
+
+            def __init__(self):
+                self.scheduler = None
+
+            def process(self, payload, state):
+                self.scheduler.abort()
+                return StageOutcome(payload, ok=True, done=True)
+
+        stage = AbortingStage()
+        scheduler = StageScheduler([stage], queue_capacity=2)
+        stage.scheduler = scheduler
+        scheduler.run(list(range(32)))
+        assert threading.active_count() == before
+
+    def test_run_clears_previous_abort(self):
+        scheduler = StageScheduler([DoublingStage()])
+        scheduler.abort()
+        result = scheduler.run([1, 2])
+        assert not result.aborted
+        assert sorted(result.finished) == [2, 4]
+
+
 class TestWorkerState:
     def test_state_built_once_per_worker(self):
         built = []

@@ -1,0 +1,547 @@
+"""The serving layer: protocol, batching, backpressure, drain, identity.
+
+Batching mechanics are driven through :class:`MicroBatcher` with toy
+runners (no HTTP); the HTTP contract is exercised against a real
+``ThreadingHTTPServer`` on an ephemeral port via the stdlib client.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import TestsuiteValidator
+from repro.service.batching import BatcherClosed, BatchQueueFull, MicroBatcher
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.protocol import (
+    JudgeRequest,
+    ProtocolError,
+    ValidateOptions,
+    ValidateRequest,
+    decode_verdict,
+    encode_verdict,
+)
+from repro.service.server import make_server
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_validate_request_roundtrip(self):
+        request = ValidateRequest(
+            files=(("a.c", "int main(){return 0;}"), ("b.c", "x")),
+            options=ValidateOptions(flavor="omp", judge="indirect", early_exit=False),
+        )
+        assert ValidateRequest.from_dict(request.to_dict()) == request
+
+    def test_single_file_shorthand(self):
+        request = ValidateRequest.from_dict({"name": "a.c", "source": "s"})
+        assert request.files == (("a.c", "s"),)
+        assert request.options == ValidateOptions()
+
+    def test_files_list_form(self):
+        request = ValidateRequest.from_dict(
+            {"files": [{"name": "a.c", "source": "s"}]}
+        )
+        assert request.files == (("a.c", "s"),)
+
+    def test_judge_request_roundtrip(self):
+        request = JudgeRequest(
+            name="a.c", source="s", flavor="omp", judge="indirect",
+            report={"compile_rc": 0, "run_rc": 1},
+        )
+        assert JudgeRequest.from_dict(request.to_dict()) == request
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "not a dict",
+            {},
+            {"files": {}},
+            {"files": "nope"},
+            {"files": {"a.c": 42}},
+            {"files": {"": "s"}},
+            {"name": "a.c"},  # shorthand missing source
+            {"files": {"a.c": "s"}, "options": {"flavor": "rust"}},
+            {"files": {"a.c": "s"}, "options": {"early_exit": "yes"}},
+            {"files": [{"name": "a.c"}]},
+        ],
+    )
+    def test_malformed_validate_requests_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            ValidateRequest.from_dict(body)
+
+    @pytest.mark.parametrize(
+        "report",
+        [
+            {"compile_rc": "0"},
+            {"compile_rc": 0, "run_rc": "1"},
+            {"compile_rc": 0, "diagnostic_codes": "E123"},  # would char-split
+            {"compile_rc": 0, "diagnostic_codes": [1, 2]},
+            {"compile_rc": 0, "compile_stderr": 7},
+        ],
+    )
+    def test_malformed_judge_reports_rejected(self, report):
+        with pytest.raises(ProtocolError):
+            JudgeRequest.from_dict({"name": "a.c", "source": "s", "report": report})
+
+    def test_per_request_file_cap(self):
+        files = {f"t{i}.c": "s" for i in range(17)}
+        with pytest.raises(ProtocolError, match="at most 16"):
+            ValidateRequest.from_dict({"files": files})
+
+    def test_duplicate_names_within_request_rejected(self):
+        with pytest.raises(ProtocolError, match="duplicate"):
+            ValidateRequest.from_dict(
+                {"files": [{"name": "a.c", "source": "1"}, {"name": "a.c", "source": "2"}]}
+            )
+
+    def test_verdict_roundtrip(self, valid_acc_source):
+        report = TestsuiteValidator(flavor="acc").validate_sources(
+            {"good.c": valid_acc_source}
+        )
+        judged = report.files[0]
+        assert decode_verdict(encode_verdict(judged)) == judged
+
+
+# ----------------------------------------------------------------------
+# micro-batching (toy runners, no HTTP)
+# ----------------------------------------------------------------------
+
+
+def collecting_runner(batches):
+    def run(key, payloads):
+        batches.append((key, list(payloads)))
+        return [(key, payload) for payload in payloads]
+    return run
+
+
+class TestMicroBatcher:
+    def test_size_cutoff_dispatches_full_batch(self):
+        batches = []
+        # the 10s latency window means only the size cutoff can fire
+        batcher = MicroBatcher(
+            collecting_runner(batches), max_batch_size=3, max_latency=10.0, capacity=8
+        )
+        futures = [batcher.submit("k", i) for i in range(3)]
+        assert [f.result(10.0) for f in futures] == [("k", 0), ("k", 1), ("k", 2)]
+        assert batches == [("k", [0, 1, 2])]
+        snapshot = batcher.snapshot()
+        assert snapshot["size_cutoffs"] == 1
+        assert snapshot["latency_cutoffs"] == 0
+        assert snapshot["largest_batch"] == 3
+        batcher.close()
+
+    def test_latency_cutoff_flushes_partial_batch(self):
+        batches = []
+        batcher = MicroBatcher(
+            collecting_runner(batches), max_batch_size=8, max_latency=0.05, capacity=8
+        )
+        future = batcher.submit("k", "lonely")
+        assert future.result(10.0) == ("k", "lonely")
+        snapshot = batcher.snapshot()
+        assert snapshot["latency_cutoffs"] >= 1
+        assert snapshot["largest_batch"] == 1
+        batcher.close()
+
+    def test_incompatible_keys_never_share_a_batch(self):
+        batches = []
+        # a long window would happily batch a+a, but b sits between them
+        batcher = MicroBatcher(
+            collecting_runner(batches), max_batch_size=8, max_latency=2.0, capacity=8
+        )
+        futures = [batcher.submit("a", 1), batcher.submit("b", 2), batcher.submit("a", 3)]
+        for future in futures:
+            future.result(10.0)
+        # the "b" item cut both neighbouring "a" batches short
+        assert batches == [("a", [1]), ("b", [2]), ("a", [3])]
+        assert batcher.snapshot()["key_cutoffs"] >= 2
+        batcher.close()
+
+    def test_backpressure_raises_queue_full(self):
+        gate = threading.Event()
+
+        def gated(key, payloads):
+            gate.wait(10.0)
+            return list(payloads)
+
+        batcher = MicroBatcher(gated, max_batch_size=1, max_latency=0.0, capacity=2)
+        inflight = batcher.submit("k", "a")  # popped by the collector, blocks
+        time.sleep(0.1)
+        queued = [batcher.submit("k", "b"), batcher.submit("k", "c")]
+        with pytest.raises(BatchQueueFull) as excinfo:
+            batcher.submit("k", "overflow")
+        assert excinfo.value.capacity == 2
+        assert excinfo.value.retry_after > 0
+        assert batcher.snapshot()["rejected"] == 1
+        gate.set()
+        for future in [inflight, *queued]:
+            assert future.result(10.0) in ("a", "b", "c")
+        batcher.close()
+
+    def test_runner_exception_fails_the_whole_batch(self):
+        def explode(key, payloads):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(explode, max_batch_size=4, max_latency=0.01, capacity=8)
+        future = batcher.submit("k", "x")
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result(10.0)
+        assert batcher.snapshot()["failed"] == 1
+        batcher.close()
+
+    def test_result_miscount_is_an_error_not_a_hang(self):
+        batcher = MicroBatcher(
+            lambda key, payloads: [], max_batch_size=2, max_latency=0.01, capacity=8
+        )
+        future = batcher.submit("k", "x")
+        with pytest.raises(RuntimeError, match="0 results"):
+            future.result(10.0)
+        batcher.close()
+
+    def test_close_drains_queued_work(self):
+        gate = threading.Event()
+        done = []
+
+        def gated(key, payloads):
+            gate.wait(10.0)
+            done.extend(payloads)
+            return list(payloads)
+
+        batcher = MicroBatcher(gated, max_batch_size=1, max_latency=0.0, capacity=8)
+        futures = [batcher.submit("k", i) for i in range(4)]
+        gate.set()
+        assert batcher.close(drain=True, timeout=10.0)
+        assert sorted(f.result(0.1) for f in futures) == [0, 1, 2, 3]
+        assert sorted(done) == [0, 1, 2, 3]
+        with pytest.raises(BatcherClosed):
+            batcher.submit("k", "late")
+
+    def test_close_without_drain_fails_queued_futures(self):
+        gate = threading.Event()
+
+        def gated(key, payloads):
+            gate.wait(10.0)
+            return list(payloads)
+
+        batcher = MicroBatcher(gated, max_batch_size=1, max_latency=0.0, capacity=8)
+        inflight = batcher.submit("k", "a")
+        time.sleep(0.1)
+        queued = batcher.submit("k", "b")
+        closer = threading.Thread(target=lambda: batcher.close(drain=False, timeout=10.0))
+        closer.start()
+        time.sleep(0.1)
+        gate.set()
+        closer.join(10.0)
+        assert inflight.result(10.0) == "a"  # already dispatched: completes
+        with pytest.raises(BatcherClosed):
+            queued.result(10.0)
+
+
+# ----------------------------------------------------------------------
+# HTTP service
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service_server():
+    """A live daemon on an ephemeral port, torn down after the test."""
+    server = make_server(port=0, max_latency=0.01)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.service.drain(timeout=10.0)
+        server.shutdown()
+        server.server_close()
+        thread.join(10.0)
+
+
+def client_for(server, **kwargs) -> ServiceClient:
+    host, port = server.server_address[:2]
+    return ServiceClient(host=host, port=port, **kwargs)
+
+
+class TestHTTPService:
+    def test_healthz(self, service_server):
+        health = client_for(service_server).healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+
+    def test_validate_roundtrip_and_stats(self, service_server, valid_acc_source):
+        client = client_for(service_server)
+        response = client.validate({"good.c": valid_acc_source})
+        assert response["summary"] == {"total": 1, "valid": 1, "invalid": 0}
+        assert response["verdicts"][0]["verdict"] == "valid"
+        assert response["verdicts"][0]["stage"] == "judge"
+        assert set(response["timings"]) == {"queued_ms", "wall_ms", "stages"}
+        assert response["timings"]["stages"]["compile"]["processed"] == 1
+
+        stats = client.stats()
+        assert stats["service"]["validate_requests"] == 1
+        assert stats["service"]["batching"]["completed"] == 1
+        assert stats["pipeline"]["files_total"] == 1
+        assert stats["pipeline"]["stages"]["judge"]["processed"] == 1
+
+    def test_lifetime_stats_walls_sum_across_batches(
+        self, service_server, valid_acc_source
+    ):
+        """Sequential batches sum their walls, so lifetime throughput is
+        files over the whole serving period — not over the slowest batch."""
+        client = client_for(service_server)
+        client.validate({"one.c": valid_acc_source})
+        wall_after_one = client.stats()["pipeline"]["wall_seconds"]
+        client.validate({"two.c": valid_acc_source})
+        wall_after_two = client.stats()["pipeline"]["wall_seconds"]
+        assert wall_after_two > wall_after_one
+
+    def test_judge_endpoint(self, service_server, valid_acc_source):
+        client = client_for(service_server)
+        response = client.judge("good.c", valid_acc_source)
+        assert response["says_valid"] is True
+        assert response["result"]["prompt_mode"] == "agent-direct"
+        stats = client.stats()
+        assert stats["service"]["judge_requests"] == 1
+
+    def test_judge_with_supplied_report(self, service_server, valid_acc_source):
+        client = client_for(service_server)
+        response = client.judge(
+            "good.c", valid_acc_source,
+            report={"compile_rc": 1, "compile_stderr": "error: nope"},
+        )
+        assert response["result"]["tool_report"]["compile_rc"] == 1
+
+    def test_malformed_body_is_400(self, service_server):
+        client = client_for(service_server)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/validate", {"files": "nope"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_path_is_404(self, service_server):
+        client = client_for(service_server)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+
+    def test_concurrent_clients_get_byte_identical_verdicts(
+        self, service_server, valid_acc_source
+    ):
+        """The serving contract: batching must not change any verdict."""
+        client = client_for(service_server)
+        broken = valid_acc_source.replace("{", "", 1)
+        sources = {
+            f"case{i}.c": valid_acc_source.replace("3.0", f"{i + 2}.0")
+            for i in range(6)
+        }
+        sources["broken.c"] = broken
+
+        responses: dict[str, dict] = {}
+        errors: list[Exception] = []
+
+        def hit(name: str, source: str) -> None:
+            try:
+                responses[name] = client.validate({name: source})
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(name, source))
+            for name, source in sources.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+
+        direct = TestsuiteValidator(flavor="acc").validate_sources(sources)
+        for name in sources:
+            expected = [encode_verdict(direct.verdict_for(name))]
+            assert responses[name]["verdicts"] == expected, name
+
+        # concurrency actually exercised the batcher
+        snapshot = service_server.service.batcher.snapshot()
+        assert snapshot["completed"] == len(sources)
+
+    def test_same_name_different_content_stays_correct(
+        self, service_server, valid_acc_source
+    ):
+        """Colliding names split into chunks, never cross-contaminate."""
+        client = client_for(service_server)
+        variant = valid_acc_source.replace("{", "", 1)  # invalid variant
+
+        results: dict[str, dict] = {}
+
+        def hit(tag: str, source: str) -> None:
+            results[tag] = client.validate({"same.c": source})
+
+        threads = [
+            threading.Thread(target=hit, args=("good", valid_acc_source)),
+            threading.Thread(target=hit, args=("bad", variant)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+
+        assert results["good"]["verdicts"][0]["verdict"] == "valid"
+        assert results["bad"]["verdicts"][0]["verdict"] == "invalid"
+        assert results["bad"]["verdicts"][0]["stage"] == "compile"
+
+    def test_429_backpressure_and_retry_after(self, valid_acc_source):
+        server = make_server(port=0, queue_capacity=1, max_batch_size=1, max_latency=0.0)
+        service = server.service
+        gate = threading.Event()
+        inner = service.batcher.runner
+
+        def gated(key, payloads):
+            gate.wait(20.0)
+            return inner(key, payloads)
+
+        service.batcher.runner = gated
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            fast_fail = ServiceClient(host=host, port=port, max_retries=0)
+            background: list = []
+
+            def occupy():
+                background.append(fast_fail.validate({"a.c": valid_acc_source}))
+
+            holders = [threading.Thread(target=occupy) for _ in range(2)]
+            # sequence the holders so the first is in-flight (popped by
+            # the collector) before the second takes the only queue slot
+            holders[0].start()
+            deadline = time.monotonic() + 5.0
+            while service.batcher.snapshot()["batches"] < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            holders[1].start()
+            while service.batcher.depth < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                fast_fail.validate({"b.c": valid_acc_source})
+            assert excinfo.value.status == 429
+            assert float(excinfo.value.body["retry_after"]) > 0
+
+            # a retrying client rides out the pressure once the gate opens
+            retrying = ServiceClient(host=host, port=port, max_retries=5)
+            threading.Timer(0.2, gate.set).start()
+            response = retrying.validate({"c.c": valid_acc_source})
+            assert response["summary"]["valid"] == 1
+            for holder in holders:
+                holder.join(20.0)
+            assert len(background) == 2
+        finally:
+            gate.set()
+            service.drain(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+            thread.join(10.0)
+
+    def test_clean_drain_completes_queued_work_and_flushes_cache(
+        self, tmp_path, valid_acc_source
+    ):
+        from repro.cache.bundle import PipelineCache
+
+        cache = PipelineCache(cache_dir=tmp_path / "cache")
+        server = make_server(port=0, cache=cache, max_latency=0.01)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(host=host, port=port)
+        response = client.validate({"good.c": valid_acc_source})
+        assert response["summary"]["valid"] == 1
+
+        server.drain_and_shutdown(timeout=10.0)
+        server.server_close()
+        thread.join(10.0)
+
+        # drain flushed the persistent namespaces to disk
+        assert (tmp_path / "cache" / "execute.json").is_file()
+        assert (tmp_path / "cache" / "judge.json").is_file()
+        # and the daemon no longer admits work
+        health = server.service.health()
+        assert health["status"] == "draining"
+
+    def test_post_validate_during_drain_is_503(self, valid_acc_source):
+        server = make_server(port=0, max_latency=0.01)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(host=host, port=port)
+            server.service.drain(timeout=10.0)
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                client.validate({"a.c": valid_acc_source})
+            assert excinfo.value.status == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(10.0)
+
+    def test_serve_cli_sigterm_drains_and_flushes(self, tmp_path, valid_acc_source):
+        """The daemon as a real process: ``llm4vv serve`` + SIGTERM.
+
+        TERM must map onto the graceful path — drain the batcher, flush
+        the cache to disk, exit 0 — not kill the process mid-write.
+        """
+        repo_root = Path(__file__).resolve().parents[1]
+        env = {**os.environ, "PYTHONPATH": str(repo_root / "src")}
+        cache_dir = tmp_path / "cache"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+                "--cache-dir", str(cache_dir), "--max-latency-ms", "5",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://[^:]+:(\d+)", banner)
+            assert match, f"no address in serve banner: {banner!r}"
+            client = ServiceClient(port=int(match.group(1)), timeout=30)
+            response = client.validate({"good.c": valid_acc_source})
+            assert response["summary"]["valid"] == 1
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            # the drain flushed warm results for the next process
+            assert (cache_dir / "execute.json").is_file()
+            assert (cache_dir / "judge.json").is_file()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.communicate(timeout=10)
+
+    def test_warm_cache_hits_show_in_stats(self, valid_acc_source):
+        from repro.cache.bundle import PipelineCache
+
+        server = make_server(port=0, cache=PipelineCache(), max_latency=0.01)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = client_for(server)
+            client.validate({"good.c": valid_acc_source})
+            cold = client.stats()["cache"]
+            client.validate({"good.c": valid_acc_source})
+            warm = client.stats()["cache"]
+            assert warm["hits"] > cold["hits"]
+        finally:
+            server.service.drain(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+            thread.join(10.0)
