@@ -1,0 +1,156 @@
+"""BENCH-FUZZ — campaign throughput, coverage growth, oracle health.
+
+ISSUE-5 gates:
+
+* scheduler-parallel campaign throughput >= 2x serial under the repo's
+  simulated 33B service-rate convention (the triage pool is the
+  modeled bottleneck, exactly like the early-exit ablation's
+  ``simulated_seconds`` figures), with byte-identical outcomes proving
+  the parallel run did the *same* work;
+* monotone coverage growth over a bounded run, with actual new
+  coverage discovered beyond the seeds;
+* zero walk/closure divergence on anything grown from the shipped
+  templates — any discrepancy fails the suite AND writes a replayable
+  campaign manifest to ``benchmarks/output/`` for triage;
+* a machine-readable ``BENCH_fuzz.json`` artifact (executions/sec,
+  acceptance rate, coverage curve) so the perf trajectory is tracked
+  across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.fuzz.campaign import Campaign, CampaignConfig
+from repro.fuzz.manifest import save_campaign
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: CI gate: the pipelined scheduler's modeled critical path must beat
+#: the serial cost model by at least this factor
+MIN_MODEL_SPEEDUP = 2.0
+
+BENCH_CONFIG = CampaignConfig(
+    flavor="acc",
+    seed=20240822,
+    rounds=4,
+    batch_size=16,
+    seed_count=8,
+    step_limit=300_000,
+    workers=4,
+    judge_workers=4,
+    triage="all",  # every survivor pays the modeled LLM cost
+)
+
+
+def _fail_with_manifest(result, reason: str) -> None:
+    out = OUTPUT_DIR / "fuzz_failure_campaign"
+    save_campaign(result, out)
+    raise AssertionError(
+        f"{reason}; replay with: "
+        f"python -m repro.cli fuzz replay {out / 'campaign.json'}"
+    )
+
+
+def test_campaign_parallel_vs_serial_and_coverage_growth(emit_artifact):
+    t0 = time.perf_counter()
+    parallel = Campaign(BENCH_CONFIG).run()
+    parallel_wall = time.perf_counter() - t0
+
+    serial = Campaign(replace(BENCH_CONFIG, workers=1, judge_workers=1)).run()
+
+    # identical work: worker counts must never change the outcome
+    if parallel.digest() != serial.digest():
+        _fail_with_manifest(parallel, "parallel and serial campaigns diverged")
+
+    # differential oracle: the shipped templates and everything grown
+    # from them must agree across backends
+    if parallel.findings:
+        _fail_with_manifest(
+            parallel,
+            f"{len(parallel.findings)} walk/closure discrepancies on the "
+            "shipped corpus",
+        )
+
+    # coverage growth: monotone curve, and the rounds beat the seeds
+    curve = parallel.stats.coverage_curve
+    assert curve == sorted(curve), f"coverage curve not monotone: {curve}"
+    assert curve[-1] > curve[0], f"no coverage growth over the run: {curve}"
+    assert parallel.stats.accepted >= 1, "no new-coverage acceptance"
+
+    # throughput: the scheduler's modeled critical path (triage charged
+    # at the 33B service rate, CPU stages at measured busy seconds,
+    # each divided by its pool width) vs the serial sum
+    speedup = parallel.stats.model_speedup
+    executions_per_second = (
+        parallel.stats.executions / parallel_wall if parallel_wall > 0 else 0.0
+    )
+
+    payload = {
+        "bench": "fuzz_campaign",
+        "config": {
+            "rounds": BENCH_CONFIG.rounds,
+            "batch_size": BENCH_CONFIG.batch_size,
+            "seed_count": BENCH_CONFIG.seed_count,
+            "workers": BENCH_CONFIG.workers,
+            "judge_workers": BENCH_CONFIG.judge_workers,
+            "triage": BENCH_CONFIG.triage,
+        },
+        "executions": parallel.stats.executions,
+        "executions_per_second": round(executions_per_second, 2),
+        "wall_seconds": round(parallel_wall, 3),
+        "acceptance_rate": round(parallel.stats.acceptance_rate, 4),
+        "accepted": parallel.stats.accepted,
+        "corpus_size": len(parallel.corpus),
+        "coverage_curve": curve,
+        "frontier_keys": curve[-1],
+        "discrepancies": len(parallel.findings),
+        "triage_flags": len(parallel.triage_flags),
+        "serial_wall_model": round(parallel.stats.serial_wall_model, 3),
+        "parallel_wall_model": round(parallel.stats.parallel_wall_model, 3),
+        "model_speedup": round(speedup, 3),
+        "digest": parallel.digest(),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_fuzz.json").write_text(json.dumps(payload, indent=2) + "\n")
+    emit_artifact(
+        "fuzz_campaign",
+        "\n".join(
+            [
+                "BENCH-FUZZ — coverage-guided differential campaign "
+                f"({BENCH_CONFIG.rounds} rounds x {BENCH_CONFIG.batch_size})",
+                f"  executions:      {payload['executions']} "
+                f"({payload['executions_per_second']:.1f}/s real wall)",
+                f"  acceptance:      {payload['accepted']} accepted "
+                f"({payload['acceptance_rate']:.0%} of applied)",
+                f"  coverage curve:  {curve}",
+                f"  discrepancies:   {payload['discrepancies']}",
+                f"  model walls:     serial {payload['serial_wall_model']}s, "
+                f"parallel {payload['parallel_wall_model']}s "
+                f"-> {speedup:.2f}x (gate >= {MIN_MODEL_SPEEDUP}x)",
+            ]
+        ),
+    )
+
+    assert speedup >= MIN_MODEL_SPEEDUP, (
+        f"scheduler-parallel campaign only {speedup:.2f}x the serial cost "
+        f"model (need >= {MIN_MODEL_SPEEDUP}x)"
+    )
+
+
+def test_fuzz_smoke_bounded_campaign():
+    """The CI fuzz-smoke gate: a small bounded campaign must discover
+    at least one new-coverage acceptance and zero discrepancies."""
+    config = CampaignConfig(
+        flavor="acc", seed=7, rounds=2, batch_size=8, seed_count=5,
+        workers=2, judge_workers=2, triage="divergent",
+    )
+    result = Campaign(config).run()
+    if result.findings:
+        _fail_with_manifest(result, "fuzz-smoke found backend discrepancies")
+    assert result.stats.accepted >= 1
+    curve = result.stats.coverage_curve
+    assert curve == sorted(curve) and curve[-1] > curve[0]

@@ -14,7 +14,9 @@ Public API (see README for the tour):
 * :mod:`repro.metrics` — per-issue accuracy, overall accuracy, bias;
 * :mod:`repro.experiments` — regenerate every table and figure;
 * :mod:`repro.service` — the validation daemon (HTTP, micro-batched
-  admission) and its client.
+  admission) and its client;
+* :mod:`repro.fuzz` — coverage-guided differential fuzzing campaigns
+  over both execution backends.
 """
 
 from repro.core import JudgedFile, TestsuiteValidator, ValidationReport

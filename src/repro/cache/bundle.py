@@ -5,7 +5,9 @@ stage kind:
 
 * ``compile`` — memory-only (values carry live AST objects);
 * ``execute`` — persistent (plain :class:`ExecutionResult` data);
-* ``judge``  — persistent (:class:`JudgeResult` round-trips via JSON).
+* ``judge``  — persistent (:class:`JudgeResult` round-trips via JSON);
+* ``fuzz``   — persistent (differential walk+closure outcomes, stored
+  as plain JSON dicts by the fuzzing campaign engine).
 
 One bundle is shared by every consumer of a run — corpus generation,
 the validation pipeline's stages, the experiment runner's retroactive
@@ -32,6 +34,10 @@ _JUDGE_CODEC = Codec(
     decode=JudgeResult.from_json,
 )
 
+# fuzz values are stored pre-encoded (DifferentialOutcome.to_json dicts)
+# so the bundle needs no import from repro.fuzz (which imports us)
+_FUZZ_CODEC = Codec(encode=lambda value: value, decode=lambda value: value)
+
 
 class PipelineCache:
     """Shared content-addressed caches for compile/execute/judge work."""
@@ -41,10 +47,11 @@ class PipelineCache:
         self.compile = ResultCache("compile", max_entries)
         self.execute = ResultCache("execute", max_entries, codec=_EXECUTION_CODEC)
         self.judge = ResultCache("judge", max_entries, codec=_JUDGE_CODEC)
+        self.fuzz = ResultCache("fuzz", max_entries, codec=_FUZZ_CODEC)
 
     @property
     def namespaces(self) -> list[ResultCache]:
-        return [self.compile, self.execute, self.judge]
+        return [self.compile, self.execute, self.judge, self.fuzz]
 
     # ------------------------------------------------------------------
 
@@ -84,7 +91,7 @@ class PipelineCache:
 
 
 #: Every namespace a :class:`PipelineCache` persists or holds in memory.
-NAMESPACE_NAMES = ("compile", "execute", "judge")
+NAMESPACE_NAMES = ("compile", "execute", "judge", "fuzz")
 
 
 def disk_summary(directory: str | Path) -> dict[str, dict[str, object] | None]:

@@ -9,7 +9,11 @@ Subcommands:
 * ``report`` — write EXPERIMENTS.md (paper-vs-measured);
 * ``serve`` — run the validation daemon (HTTP, batched admission);
 * ``client`` — validate files against a running daemon;
-* ``cache`` — inspect or purge an on-disk ``--cache-dir``.
+* ``cache`` — inspect or purge an on-disk ``--cache-dir``;
+* ``fuzz`` — coverage-guided differential fuzzing campaigns
+  (``run`` / ``replay`` / ``minimize`` / ``report``);
+* ``coverage`` — print the feature-coverage matrix for a suite or
+  campaign corpus.
 
 Every command shuts down gracefully: SIGTERM is mapped onto
 ``KeyboardInterrupt``, in-flight schedulers drain via their sentinel
@@ -186,6 +190,68 @@ def _main(argv: list[str] | None = None) -> int:
         help="print the daemon's /v1/stats after (or instead of) validating",
     )
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided differential fuzzing campaigns"
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    pf_run = fuzz_sub.add_parser("run", help="run a fuzzing campaign")
+    pf_run.add_argument("--flavor", choices=("acc", "omp"), default="acc")
+    pf_run.add_argument("--seed", type=int, default=1)
+    pf_run.add_argument("--rounds", type=positive_int, default=4)
+    pf_run.add_argument("--batch", type=positive_int, default=24, metavar="N",
+                        help="candidates scheduled per round")
+    pf_run.add_argument("--corpus-seeds", type=positive_int, default=12, metavar="N",
+                        help="template-rendered seed tests")
+    pf_run.add_argument("--languages", default="c,cpp")
+    pf_run.add_argument("--step-limit", type=positive_int, default=300_000)
+    pf_run.add_argument("--workers", type=positive_int, default=2,
+                        help="mutate/differential worker threads per stage")
+    pf_run.add_argument("--judge-workers", type=positive_int, default=2)
+    pf_run.add_argument(
+        "--triage", choices=("divergent", "all", "off"), default="divergent",
+        help="LLM-judge policy: divergent candidates only (default), "
+             "every compiled candidate, or never",
+    )
+    pf_run.add_argument("--model-seed", type=int, default=20240822)
+    pf_run.add_argument("--max-corpus", type=positive_int, default=512, metavar="N",
+                        help="corpus size cap (divergent witnesses bypass it; "
+                             "drops are counted in the report)")
+    pf_run.add_argument("--out", default="fuzz-out", metavar="DIR",
+                        help="campaign output dir (manifest + corpus + report)")
+    add_cache_flags(pf_run)
+
+    pf_replay = fuzz_sub.add_parser(
+        "replay", help="re-execute a campaign manifest and verify the digest"
+    )
+    pf_replay.add_argument("manifest", help="campaign.json (or its directory)")
+    pf_replay.add_argument("--out", default=None, metavar="DIR",
+                           help="also save the replayed campaign to DIR")
+    add_cache_flags(pf_replay)
+
+    pf_min = fuzz_sub.add_parser(
+        "minimize", help="greedy-minimize a campaign corpus, keeping coverage"
+    )
+    pf_min.add_argument("campaign", help="campaign output dir")
+    pf_min.add_argument("--out", default=None, metavar="DIR",
+                        help="write the minimized suite to DIR")
+
+    pf_report = fuzz_sub.add_parser(
+        "report", help="print a saved campaign's findings and coverage"
+    )
+    pf_report.add_argument("campaign", help="campaign output dir")
+
+    p_coverage = sub.add_parser(
+        "coverage", help="print the feature-coverage matrix for a suite"
+    )
+    p_coverage.add_argument(
+        "suite", help="a 'generate' suite dir or a fuzz campaign output dir"
+    )
+    p_coverage.add_argument(
+        "--uncovered", action="store_true",
+        help="also list each uncovered catalog feature with its description",
+    )
+
     p_cache = sub.add_parser("cache", help="inspect or purge an on-disk cache")
     p_cache.add_argument("action", choices=("stats", "purge"))
     p_cache.add_argument("--cache-dir", required=True, metavar="DIR")
@@ -216,6 +282,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_client(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "coverage":
+        return _cmd_coverage(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -366,11 +436,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         _finish_cache(cache)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _bind_server(args: argparse.Namespace, cache):
     from repro.service.server import make_server
 
-    cache = _make_cache(args)
-    server = make_server(
+    return make_server(
         host=args.host,
         port=args.port,
         cache=cache,
@@ -382,6 +451,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_latency=args.max_latency_ms / 1000.0,
         queue_capacity=args.queue_capacity,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
+    try:
+        server = _bind_server(args, cache)
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
     host, port = server.server_address[:2]
     print(
         f"serving on http://{host}:{port} "
@@ -461,6 +539,167 @@ def _cmd_client(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"client: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 3
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.fuzz_command == "run":
+        return _cmd_fuzz_run(args)
+    if args.fuzz_command == "replay":
+        return _cmd_fuzz_replay(args)
+    if args.fuzz_command == "minimize":
+        return _cmd_fuzz_minimize(args)
+    if args.fuzz_command == "report":
+        return _cmd_fuzz_report(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import Campaign, CampaignConfig
+    from repro.fuzz.manifest import save_campaign
+
+    languages = tuple(part.strip() for part in args.languages.split(",") if part.strip())
+    unknown = [lang for lang in languages if lang not in ("c", "cpp", "f90")]
+    if unknown or not languages:
+        print(
+            f"fuzz run: unknown languages {unknown or args.languages!r} "
+            "(choose from c, cpp, f90)",
+            file=sys.stderr,
+        )
+        return 2
+    config = CampaignConfig(
+        flavor=args.flavor,
+        languages=languages,
+        seed=args.seed,
+        rounds=args.rounds,
+        batch_size=args.batch,
+        seed_count=args.corpus_seeds,
+        step_limit=args.step_limit,
+        workers=args.workers,
+        judge_workers=args.judge_workers,
+        triage=args.triage,
+        model_seed=args.model_seed,
+        max_corpus=args.max_corpus,
+    )
+    cache = _make_cache(args)
+    try:
+        result = Campaign(config, cache=cache).run(progress=print)
+        out = save_campaign(result, args.out)
+        print(result.render_report())
+        print(f"\nwrote campaign to {out} (digest {result.digest()[:16]})")
+        return 1 if result.findings else 0
+    finally:
+        _finish_cache(cache)
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.manifest import CampaignManifest, ReplayError, replay_manifest, save_campaign
+
+    path = Path(args.manifest)
+    if path.is_dir():
+        path = path / "campaign.json"
+    try:
+        manifest = CampaignManifest.load(path)
+    except (OSError, ValueError, KeyError, ReplayError) as exc:
+        print(f"fuzz replay: cannot load manifest: {exc}", file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    try:
+        result, identical = replay_manifest(manifest, cache=cache, progress=print)
+        if args.out:
+            save_campaign(result, args.out)
+            print(f"wrote replayed campaign to {args.out}")
+        print(
+            f"recorded digest {manifest.digest[:16]}, "
+            f"replayed digest {result.digest()[:16]}"
+        )
+        if identical:
+            print("replay: byte-identical")
+            return 0
+        print("replay: MISMATCH — substrate drifted since the manifest was written",
+              file=sys.stderr)
+        return 1
+    finally:
+        _finish_cache(cache)
+
+
+def _cmd_fuzz_minimize(args: argparse.Namespace) -> int:
+    from repro.corpus.suite import TestSuite
+    from repro.fuzz.manifest import load_campaign_dir
+    from repro.fuzz.minimize import minimize_corpus
+
+    try:
+        manifest, suite = load_campaign_dir(args.campaign)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"fuzz minimize: cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    by_name = {test.name: test for test in suite}
+    entries = [
+        (by_name[meta["name"]], tuple(meta["keys"]))
+        for meta in manifest.corpus_meta
+        if meta["name"] in by_name
+    ]
+    result = minimize_corpus(entries)
+    kept_set = set(result.kept)
+    print(
+        f"minimized {len(entries)} -> {len(result.kept)} tests "
+        f"({result.reduction:.0%} dropped) preserving {result.covered_keys} "
+        f"frontier keys"
+    )
+    for name in result.kept:
+        print(f"  keep {name}")
+    if args.out:
+        minimized = TestSuite(
+            f"{suite.name}-min", suite.model,
+            [test for test in suite if test.name in kept_set],
+        )
+        out = minimized.save(args.out)
+        print(f"wrote minimized suite to {out}")
+    return 0
+
+
+def _cmd_fuzz_report(args: argparse.Namespace) -> int:
+    from repro.fuzz.manifest import load_campaign_dir
+
+    try:
+        manifest, suite = load_campaign_dir(args.campaign)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"fuzz report: cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    report = Path(args.campaign) / "report.txt"
+    if report.exists():
+        print(report.read_text().rstrip())
+    stats = manifest.stats
+    print(
+        f"\ncorpus {len(suite)} tests; "
+        f"{stats.get('discrepancies', 0)} discrepancies, "
+        f"{stats.get('accepted', 0)} accepted / {stats.get('applied', 0)} applied; "
+        f"digest {manifest.digest[:16]}"
+    )
+    return 1 if manifest.findings else 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.corpus.coverage import measure_coverage, uncovered_features
+    from repro.corpus.suite import TestSuite
+
+    root = Path(args.suite)
+    corpus = root / "corpus"
+    try:
+        suite = TestSuite.load(corpus if (corpus / "manifest.json").exists() else root)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"coverage: cannot load suite from {root}: {exc}", file=sys.stderr)
+        return 2
+    report = measure_coverage(suite.model, list(suite))
+    print(report.render())
+    if args.uncovered:
+        gaps = uncovered_features(suite.model, list(suite))
+        if gaps:
+            print("\nuncovered catalog features:")
+            for feature in gaps:
+                print(f"  {feature.ident:30s} [{feature.category}] {feature.description}")
+        else:
+            print("\nno uncovered catalog features")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

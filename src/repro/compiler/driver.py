@@ -39,6 +39,19 @@ def detect_language(filename: str) -> str:
     return "c"
 
 
+def testfile_language(filename: str) -> str:
+    """Map a filename to a :class:`TestFile` language ('c'|'cpp'|'f90').
+
+    The one place the driver's language names ('c++', 'fortran') are
+    translated to the corpus dialect tags; the validator and the
+    service's judge endpoint both use it, so they can never diverge.
+    """
+    detected = detect_language(filename)
+    if detected == "fortran":
+        return "f90"
+    return "cpp" if detected == "c++" else "c"
+
+
 @dataclass
 class CompileResult:
     """Everything a driver invocation produces."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.compiler.driver import detect_language
+from repro.compiler.driver import testfile_language
 from repro.corpus.generator import TestFile
 from repro.llm.model import DeepSeekCoderSim
 from repro.pipeline.engine import PipelineConfig, PipelineRecord, ValidationPipeline
@@ -140,8 +140,7 @@ class TestsuiteValidator:
         tests = [
             TestFile(
                 name=name,
-                language="f90" if detect_language(name) == "fortran"
-                else ("cpp" if detect_language(name) == "c++" else "c"),
+                language=testfile_language(name),
                 model=self.config.flavor,
                 source=source,
                 template="user",

@@ -1,0 +1,177 @@
+"""Campaign manifests: persistence and deterministic replay.
+
+A manifest records everything needed to reproduce a campaign
+byte-for-byte: the full config, the *recorded* operator schedule
+(parent name, operator, per-candidate RNG seed for every slot of every
+round), the per-entry corpus metadata (signature + frontier keys, so
+the minimizer and report work offline), the findings, and the result
+digest.  Replay re-executes the recorded schedule — not the weight
+heuristics — so a manifest stays exact even if the adaptive-weight
+policy changes in a later PR; the digest check catches any drift in
+the substrate itself (compiler, interpreter, operators).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.corpus.suite import TestSuite
+from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.fuzz.differential import Discrepancy
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "campaign.json"
+CORPUS_DIR = "corpus"
+REPORT_NAME = "report.txt"
+
+
+class ReplayError(Exception):
+    """The manifest cannot be replayed (version/content mismatch)."""
+
+
+@dataclass
+class CampaignManifest:
+    """The replayable record of one campaign."""
+
+    config: CampaignConfig
+    schedule: list[list[dict]]
+    digest: str
+    corpus_meta: list[dict]  # {name, signature, keys, new_keys}
+    findings: list[dict]
+    triage_flags: list[dict]
+    stats: dict
+    operator_states: list[dict]
+
+    @classmethod
+    def from_result(cls, result: CampaignResult) -> "CampaignManifest":
+        return cls(
+            config=result.config,
+            schedule=result.schedule,
+            digest=result.digest(),
+            corpus_meta=[
+                {
+                    "name": entry.test.name,
+                    "signature": entry.signature,
+                    "keys": list(entry.keys),
+                    "new_keys": list(entry.new_keys),
+                }
+                for entry in result.corpus
+            ],
+            findings=[finding.to_json() for finding in result.findings],
+            triage_flags=[flag.to_json() for flag in result.triage_flags],
+            stats=result.stats.to_json(),
+            operator_states=[
+                result.operator_states[name].to_json()
+                for name in sorted(result.operator_states)
+            ],
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "config": self.config.to_json(),
+            "schedule": self.schedule,
+            "digest": self.digest,
+            "corpus": self.corpus_meta,
+            "findings": self.findings,
+            "triage_flags": self.triage_flags,
+            "stats": self.stats,
+            "operators": self.operator_states,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignManifest":
+        version = data.get("version")
+        if version != MANIFEST_VERSION:
+            raise ReplayError(
+                f"unsupported manifest version {version!r} (expected {MANIFEST_VERSION})"
+            )
+        return cls(
+            config=CampaignConfig.from_json(data["config"]),
+            schedule=[list(round_plan) for round_plan in data["schedule"]],
+            digest=data["digest"],
+            corpus_meta=list(data.get("corpus", ())),
+            findings=list(data.get("findings", ())),
+            triage_flags=list(data.get("triage_flags", ())),
+            stats=dict(data.get("stats", {})),
+            operator_states=list(data.get("operators", ())),
+        )
+
+    def discrepancies(self) -> list[Discrepancy]:
+        return [Discrepancy.from_json(raw) for raw in self.findings]
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignManifest":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# campaign directory layout
+# ---------------------------------------------------------------------------
+
+
+def save_campaign(result: CampaignResult, directory: str | Path) -> Path:
+    """Write a campaign output dir: manifest + corpus suite + report."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = CampaignManifest.from_result(result)
+    manifest.save(root / MANIFEST_NAME)
+    suite = TestSuite(
+        f"{result.config.flavor}-fuzz-seed{result.config.seed}",
+        result.config.flavor,
+        result.tests(),
+    )
+    suite.save(root / CORPUS_DIR)
+    (root / REPORT_NAME).write_text(result.render_report() + "\n")
+    return root
+
+
+def load_campaign_dir(directory: str | Path) -> tuple[CampaignManifest, TestSuite]:
+    """Load a saved campaign (manifest + corpus suite)."""
+    root = Path(directory)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        # allow pointing straight at the manifest file
+        if root.is_file():
+            manifest_path = root
+            root = root.parent
+        else:
+            raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
+    manifest = CampaignManifest.load(manifest_path)
+    suite = TestSuite.load(root / CORPUS_DIR)
+    return manifest, suite
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+
+def replay_manifest(manifest: CampaignManifest, cache=None,
+                    progress=None) -> tuple[CampaignResult, bool]:
+    """Re-execute a manifest's recorded schedule.
+
+    Returns ``(result, identical)`` where ``identical`` says whether the
+    replayed digest matches the recorded one — False means the substrate
+    (compiler, interpreter, operators) drifted since the manifest was
+    written, and the replayed result shows exactly where.
+
+    Replay never *reads* the fuzz cache (``reuse_differential=False``):
+    a warm ``--cache-dir`` would hand back outcomes recorded before a
+    substrate change and vacuously confirm the digest.  The judge cache
+    is still consulted — verdicts are pure functions of their prompts,
+    and a changed prompt is a changed key.
+    """
+    campaign = Campaign(manifest.config, cache=cache, reuse_differential=False)
+    result = campaign.run(schedule_override=manifest.schedule, progress=progress)
+    return result, result.digest() == manifest.digest

@@ -1,0 +1,86 @@
+"""Greedy corpus minimization preserving the coverage frontier.
+
+The campaign's corpus accretes every candidate that was novel *when it
+arrived*; later entries often subsume earlier ones.  The minimizer
+computes the smallest (greedy set-cover) subset whose union of frontier
+keys equals the full corpus's — the classic test-suite reduction the
+V&V lineage applies to hand-written suites, here applied to the
+machine-grown one.
+
+Deterministic: candidates are considered largest-gain first with ties
+broken by (source length, name), so one corpus always minimizes to one
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.generator import TestFile
+
+
+@dataclass(frozen=True)
+class MinimizeResult:
+    """The kept subset plus the bookkeeping a report wants."""
+
+    kept: tuple[str, ...]  # names, in greedy pick order
+    dropped: tuple[str, ...]
+    covered_keys: int
+
+    @property
+    def reduction(self) -> float:
+        total = len(self.kept) + len(self.dropped)
+        return len(self.dropped) / total if total else 0.0
+
+
+def minimize_corpus(entries: list[tuple[TestFile, tuple[str, ...]]]) -> MinimizeResult:
+    """Greedy set cover over ``(test, frontier keys)`` pairs.
+
+    DIVERGENT-signature entries are always kept: a discrepancy witness
+    must survive minimization even if its keys are otherwise covered.
+    """
+    target: set[str] = set()
+    for _, keys in entries:
+        target |= set(keys)
+
+    kept: list[str] = []
+    covered: set[str] = set()
+    remaining = list(entries)
+
+    # pinned witnesses first (deterministic order: name)
+    pinned = sorted(
+        (test for test, keys in entries if any("sig:DIVERGENT" in k for k in keys)),
+        key=lambda test: test.name,
+    )
+    pinned_names = {test.name for test in pinned}
+    for test in pinned:
+        kept.append(test.name)
+        for candidate, keys in entries:
+            if candidate.name == test.name:
+                covered |= set(keys)
+    remaining = [(t, k) for t, k in remaining if t.name not in pinned_names]
+
+    while covered != target and remaining:
+        best = None
+        best_gain = -1
+        for test, keys in remaining:
+            gain = len(set(keys) - covered)
+            if gain > best_gain or (
+                best is not None
+                and gain == best_gain
+                and (len(test.source), test.name)
+                < (len(best[0].source), best[0].name)
+            ):
+                best = (test, keys)
+                best_gain = gain
+        if best is None or best_gain <= 0:
+            break
+        kept.append(best[0].name)
+        covered |= set(best[1])
+        remaining = [(t, k) for t, k in remaining if t.name != best[0].name]
+
+    kept_set = set(kept)
+    dropped = tuple(
+        test.name for test, _ in entries if test.name not in kept_set
+    )
+    return MinimizeResult(kept=tuple(kept), dropped=dropped, covered_keys=len(covered))

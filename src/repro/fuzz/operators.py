@@ -1,0 +1,321 @@
+"""Composable fuzzing operators.
+
+A :class:`FuzzOperator` turns one corpus entry into one candidate.  The
+paper's five issue mutators are wrapped as operators (their ground
+truth carries over: the mutant is expected-invalid), and four new
+operators extend the search space with *behaviour*-oriented mutations
+whose products are usually still valid tests — exactly the candidates
+that stress the differential oracle rather than the compiler's error
+paths:
+
+* ``clause-shuffle``     — permute a directive's clause list
+  (semantics-preserving; stresses clause parsing order-independence);
+* ``bound-perturb``      — nudge a ``#define``'d problem size
+  (self-checking tests stay green but walk a different step count);
+* ``nesting-splice``     — copy an existing directive above another
+  loop (new directive-nesting combinations; may or may not compile);
+* ``dead-store``         — inject a block-scoped dead store inside a
+  loop body (semantics-preserving; perturbs slot allocation and step
+  accounting in both backends).
+
+Inapplicable inputs raise :class:`~repro.probing.mutators.MutationError`
+— the campaign records a *typed skip*, never a crash.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import replace
+
+from repro.corpus.generator import TestFile
+from repro.probing.mutators import ISSUE_DESCRIPTIONS, MutationError, mutator_for_issue
+
+#: clause keywords that can appear without parentheses on a directive
+_BARE_CLAUSES = {
+    "async", "wait", "seq", "independent", "auto", "gang", "worker",
+    "vector", "nowait", "untied",
+}
+
+#: directive-head words that are never clauses (they name the construct)
+_HEAD_WORDS = {
+    "parallel", "kernels", "serial", "loop", "data", "enter", "exit",
+    "update", "atomic", "target", "teams", "distribute", "for", "simd",
+    "sections", "section", "single", "master", "critical", "task",
+    "barrier", "taskwait", "declare", "routine", "cache", "host_data",
+}
+
+
+class FuzzOperator:
+    """One mutation strategy the campaign can schedule."""
+
+    name: str = "operator"
+    #: issue id stamped on products (None = expected-valid candidate)
+    issue: int | None = None
+
+    def apply(self, test: TestFile, rng: random.Random) -> TestFile:
+        """Produce a candidate from ``test`` (raise MutationError to skip)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        if self.issue is not None and self.issue in ISSUE_DESCRIPTIONS:
+            return ISSUE_DESCRIPTIONS[self.issue]
+        return self.__doc__.strip().splitlines()[0] if self.__doc__ else self.name
+
+
+class IssueOperator(FuzzOperator):
+    """Wrap one of the paper's five issue mutators as a fuzz operator."""
+
+    def __init__(self, issue: int):
+        self.issue = issue
+        self.name = f"issue{issue}"
+        self._mutator = mutator_for_issue(issue)
+
+    def apply(self, test: TestFile, rng: random.Random) -> TestFile:
+        mutated = self._mutator.mutate(test, rng)
+        if self.issue == 3:
+            # a full random replacement owes nothing to the template's
+            # declared features; keeping them would fake coverage
+            mutated = replace(mutated, features=())
+        return mutated
+
+
+# ---------------------------------------------------------------------------
+# clause shuffle
+# ---------------------------------------------------------------------------
+
+_PRAGMA_RE = re.compile(r"^(\s*#pragma\s+(?:acc|omp)\b)(.*)$")
+
+
+def _split_clauses(tail: str) -> list[str] | None:
+    """Tokenize a directive tail into head words + clause tokens.
+
+    Returns the token list, or None when the tail has unbalanced
+    parentheses (leave such lines alone).
+    """
+    tokens: list[str] = []
+    i, n = 0, len(tail)
+    while i < n:
+        if tail[i].isspace():
+            i += 1
+            continue
+        start = i
+        while i < n and not tail[i].isspace() and tail[i] != "(":
+            i += 1
+        if i < n and tail[i] == "(":
+            depth = 0
+            while i < n:
+                if tail[i] == "(":
+                    depth += 1
+                elif tail[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+            if depth != 0:
+                return None
+        token = tail[start:i].strip()
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+class ClauseShuffleOperator(FuzzOperator):
+    """Permute the clause list of one directive line (order-invariant)."""
+
+    name = "clause-shuffle"
+    issue = None
+
+    def apply(self, test: TestFile, rng: random.Random) -> TestFile:
+        if test.language == "f90":
+            raise MutationError("clause shuffle targets C-family pragmas")
+        lines = test.source.splitlines()
+        shufflable: list[tuple[int, str, list[str], list[str]]] = []
+        for idx, line in enumerate(lines):
+            match = _PRAGMA_RE.match(line)
+            if not match:
+                continue
+            tokens = _split_clauses(match.group(2))
+            if tokens is None:
+                continue
+            head: list[str] = []
+            clauses: list[str] = []
+            for token in tokens:
+                word = token.split("(", 1)[0]
+                if not clauses and "(" not in token and word in _HEAD_WORDS:
+                    head.append(token)
+                elif "(" in token or word in _BARE_CLAUSES:
+                    clauses.append(token)
+                else:
+                    head.append(token)
+            if len(clauses) >= 2:
+                shufflable.append((idx, match.group(1), head, clauses))
+        if not shufflable:
+            raise MutationError("no directive with >= 2 clauses to shuffle")
+        idx, prefix, head, clauses = shufflable[rng.randrange(len(shufflable))]
+        order = list(range(len(clauses)))
+        # draw until the permutation differs; bounded so a pathological
+        # rng cannot loop forever
+        for _ in range(8):
+            candidate = rng.sample(order, len(order))
+            if candidate != order:
+                order = candidate
+                break
+        else:
+            order = list(reversed(order))
+        shuffled = [clauses[j] for j in order]
+        lines[idx] = " ".join([prefix.rstrip()] + head + shuffled)
+        return replace(test, source="\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# bound perturbation
+# ---------------------------------------------------------------------------
+
+_DEFINE_RE = re.compile(r"^(\s*#define\s+[A-Z][A-Z0-9_]*\s+)(\d+)\s*$")
+
+
+class BoundPerturbOperator(FuzzOperator):
+    """Nudge a ``#define``'d problem size by a small delta.
+
+    The template tests compute their reference with the same macro, so
+    the candidate stays self-checking and green — but walks a different
+    iteration count, landing in a new steps bucket (fresh coverage).
+    """
+
+    name = "bound-perturb"
+    issue = None
+
+    def apply(self, test: TestFile, rng: random.Random) -> TestFile:
+        if test.language == "f90":
+            raise MutationError("bound perturbation targets #define sizes")
+        lines = test.source.splitlines()
+        spots = [i for i, line in enumerate(lines) if _DEFINE_RE.match(line)]
+        if not spots:
+            raise MutationError("no integer #define to perturb")
+        idx = spots[rng.randrange(len(spots))]
+        match = _DEFINE_RE.match(lines[idx])
+        value = int(match.group(2))
+        delta = rng.choice([-3, -2, -1, 1, 2, 3, 7, 13])
+        perturbed = max(2, value + delta)
+        if perturbed == value:
+            perturbed = value + 1
+        lines[idx] = f"{match.group(1)}{perturbed}"
+        return replace(test, source="\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# directive-nesting splice
+# ---------------------------------------------------------------------------
+
+_FOR_RE = re.compile(r"^\s*for\s*\(")
+
+
+class NestingSpliceOperator(FuzzOperator):
+    """Copy an existing directive line above another ``for`` loop.
+
+    Produces new directive-nesting combinations the templates never
+    render — some compile into valid (possibly redundant) schedules,
+    some trip the semantic checker; both outcomes are informative.
+    """
+
+    name = "nesting-splice"
+    issue = None
+
+    def apply(self, test: TestFile, rng: random.Random) -> TestFile:
+        if test.language == "f90":
+            raise MutationError("nesting splice targets C-family pragmas")
+        lines = test.source.splitlines()
+        pragmas = [i for i, line in enumerate(lines) if _PRAGMA_RE.match(line)]
+        if not pragmas:
+            raise MutationError("no directive to splice")
+        # loops not already annotated by the line directly above
+        targets = [
+            i
+            for i, line in enumerate(lines)
+            if _FOR_RE.match(line) and (i == 0 or not _PRAGMA_RE.match(lines[i - 1]))
+        ]
+        if not targets:
+            raise MutationError("no unannotated loop to receive the splice")
+        src = pragmas[rng.randrange(len(pragmas))]
+        dst = targets[rng.randrange(len(targets))]
+        indent = re.match(r"\s*", lines[dst]).group(0)
+        spliced = indent + lines[src].strip()
+        lines.insert(dst, spliced)
+        return replace(test, source="\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# dead-store injection
+# ---------------------------------------------------------------------------
+
+_STATEMENT_RE = re.compile(r";\s*$")
+
+
+class DeadStoreOperator(FuzzOperator):
+    """Inject a block-scoped dead store after an existing statement.
+
+    Semantics-preserving by construction (the stored value is never
+    read), but the extra declaration perturbs frame-slot allocation in
+    the closure backend and adds steps in both — cheap differential
+    pressure on the lowering path.
+    """
+
+    name = "dead-store"
+    issue = None
+
+    def apply(self, test: TestFile, rng: random.Random) -> TestFile:
+        if test.language == "f90":
+            raise MutationError("dead-store injection targets C-family code")
+        lines = test.source.splitlines()
+        spots = [
+            i
+            for i, line in enumerate(lines)
+            if _STATEMENT_RE.search(line)
+            and not line.lstrip().startswith("#")
+            and "return" not in line
+            and "__fz_dead" not in line
+        ]
+        if not spots:
+            raise MutationError("no statement to anchor the dead store")
+        idx = spots[rng.randrange(len(spots))]
+        indent = re.match(r"\s*", lines[idx]).group(0)
+        serial = rng.randrange(1000)
+        factor = rng.randint(2, 9)
+        lines.insert(
+            idx + 1,
+            f"{indent}double __fz_dead{serial} = {factor}.0 * {serial % 7 + 1}.0;",
+        )
+        return replace(test, source="\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def default_operators() -> list[FuzzOperator]:
+    """The full operator suite: five issue mutators + four new ones."""
+    return [
+        IssueOperator(0),
+        IssueOperator(1),
+        IssueOperator(2),
+        IssueOperator(3),
+        IssueOperator(4),
+        ClauseShuffleOperator(),
+        BoundPerturbOperator(),
+        NestingSpliceOperator(),
+        DeadStoreOperator(),
+    ]
+
+
+def operators_by_name(names: tuple[str, ...] | None = None) -> list[FuzzOperator]:
+    """Resolve operator names (None = the default suite)."""
+    all_ops = {op.name: op for op in default_operators()}
+    if names is None:
+        return list(all_ops.values())
+    missing = [name for name in names if name not in all_ops]
+    if missing:
+        raise ValueError(f"unknown operators {missing} (have {sorted(all_ops)})")
+    return [all_ops[name] for name in names]

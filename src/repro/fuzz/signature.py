@@ -1,0 +1,84 @@
+"""Behaviour signatures: the campaign's novelty detector.
+
+A signature buckets what one candidate *did* — compile outcome
+(diagnostic codes), return code, fault class, a log-scale steps bucket
+and a coarse stdout class — into a short stable string.  Together with
+the feature idents a candidate inherits from its template, signatures
+define the coverage frontier: a candidate is accepted into the corpus
+when it lights up a (feature × signature) cell, a whole signature, or a
+feature nothing in the corpus has exercised yet.
+
+Signatures deliberately exclude free text (stderr messages embed file
+names and column numbers) so renamed duplicates bucket together.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.generator import TestFile
+
+
+def steps_bucket(steps: int) -> str:
+    """Log-scale bucket for interpreter step counts."""
+    if steps <= 0:
+        return "s0"
+    magnitude = 0
+    value = steps
+    while value >= 10:
+        value //= 10
+        magnitude += 1
+    return f"s1e{magnitude}"
+
+
+def stdout_class(text: str) -> str:
+    """Coarse classification of a program's stdout."""
+    if not text:
+        return "empty"
+    lowered = text.lower()
+    if "pass" in lowered:
+        return "pass"
+    if "fail" in lowered or "mismatch" in lowered:
+        return "fail"
+    return "other"
+
+
+def behavior_signature(outcome) -> str:
+    """Signature of one :class:`~repro.fuzz.differential.DifferentialOutcome`.
+
+    Divergent outcomes get their own marker so a discrepancy is always
+    novel (and therefore always retained by the corpus minimizer).
+    """
+    if outcome.compile_rc != 0:
+        codes = ",".join(sorted(set(outcome.diagnostic_codes))[:4]) or "none"
+        return f"compile-fail:{codes}"
+    if outcome.divergent:
+        return "DIVERGENT"
+    run = outcome.closure
+    if run is None:
+        return "not-run"
+    fault = outcome_fault_class(run.fault, run.timed_out)
+    return (
+        f"rc{run.returncode}:{fault}:{steps_bucket(run.steps)}"
+        f":{stdout_class(run.stdout)}"
+    )
+
+
+def outcome_fault_class(fault: str | None, timed_out: bool) -> str:
+    """Stable fault-class token (free text collapsed to a family)."""
+    if timed_out:
+        return "timeout"
+    if fault is None:
+        return "clean"
+    lowered = fault.lower()
+    for family in ("segmentation", "bounds", "recursion", "mapping", "present"):
+        if family in lowered:
+            return family
+    return "fault"
+
+
+def coverage_keys(test: TestFile, signature: str) -> set[str]:
+    """The frontier cells one (candidate, signature) pair lights up."""
+    keys = {f"sig:{signature}"}
+    for ident in test.features:
+        keys.add(f"feat:{ident}")
+        keys.add(f"cell:{ident}|{signature}")
+    return keys

@@ -11,10 +11,12 @@ concurrency is bounded by the admission queue, not by socket count.
 
 Endpoints
 ---------
-* ``POST /v1/validate`` — batched full-pipeline validation;
-* ``POST /v1/judge``    — one synchronous judge-only call;
-* ``GET  /healthz``     — liveness + drain state;
-* ``GET  /v1/stats``    — live batching/pipeline/cache counters.
+* ``POST /v1/validate``  — batched full-pipeline validation;
+* ``POST /v1/judge``     — one synchronous judge-only call;
+* ``GET  /healthz``      — liveness + drain state;
+* ``GET  /v1/stats``     — live batching/pipeline/cache counters;
+* ``GET  /v1/fuzz/stats`` — lifetime fuzzing-campaign counters for this
+  process (campaigns, executions, discrepancies, acceptance).
 
 Load shedding is explicit: a full admission queue answers HTTP 429
 with a ``Retry-After`` header; a draining daemon answers 503.  SIGTERM
@@ -32,7 +34,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.compiler.driver import detect_language
+from repro.compiler.driver import testfile_language
 from repro.core.validator import TestsuiteValidator
 from repro.corpus.generator import TestFile
 from repro.judge.agent import ToolReport
@@ -115,7 +117,7 @@ class ValidationService:
             judge = CachingAgentJudge(judge, self.cache.judge)
         test = TestFile(
             name=request.name,
-            language=_language_for(request.name),
+            language=testfile_language(request.name),
             model=request.flavor,
             source=request.source,
             template="user",
@@ -153,6 +155,17 @@ class ValidationService:
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "queue_depth": self.batcher.depth,
         }
+
+    def fuzz_stats(self) -> dict:
+        """Lifetime fuzz-campaign counters (``GET /v1/fuzz/stats``).
+
+        Campaigns register with a process-wide registry when they
+        finish, so a daemon co-hosting campaign runs (or a test driving
+        both in one process) surfaces discovery progress over HTTP.
+        """
+        from repro.fuzz.campaign import fuzz_stats_snapshot
+
+        return fuzz_stats_snapshot()
 
     def stats_snapshot(self) -> dict:
         """Everything ``/v1/stats`` serves, copied under the right locks."""
@@ -271,13 +284,6 @@ class ValidationService:
         return responses  # type: ignore[return-value]
 
 
-def _language_for(filename: str) -> str:
-    detected = detect_language(filename)
-    if detected == "fortran":
-        return "f90"
-    return "cpp" if detected == "c++" else "c"
-
-
 # ----------------------------------------------------------------------
 # HTTP front-end
 # ----------------------------------------------------------------------
@@ -365,10 +371,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, self._service.health())
             elif self.path == "/v1/stats":
                 self._send(200, self._service.stats_snapshot())
+            elif self.path == "/v1/fuzz/stats":
+                self._send(200, self._service.fuzz_stats())
             else:
                 self._send(404, error_body(f"unknown path {self.path!r}"))
         except ConnectionError:
             pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            self._error(500, f"internal error: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:

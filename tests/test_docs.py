@@ -71,6 +71,7 @@ def test_runbook_documents_every_benchmark_gate():
         "test_interpreter_throughput.py",
         "test_experiment_sharding.py",
         "test_service_throughput.py",
+        "test_fuzz_throughput.py",
     ):
         assert gate in text, f"RUNBOOK does not mention {gate}"
         assert (REPO_ROOT / "benchmarks" / gate).is_file()

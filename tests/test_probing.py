@@ -200,3 +200,100 @@ class TestProber:
                     assert test.issue in (None, 5)
                 else:
                     assert test.issue == issue
+
+
+class TestMutatorEdgeCases:
+    """Degenerate inputs must yield a well-formed variant or the typed
+    MutationError — never any other exception (ISSUE-5 satellite)."""
+
+    DEGENERATE_SOURCES = {
+        "empty": "",
+        "whitespace": "   \n\n  \t\n",
+        "no_brackets": "int x;\n",
+        "single_statement": "int main();\n",
+        "no_directives": "int main() { return 0; }\n",
+        "only_pragma": "#pragma acc parallel loop\n",
+        "unbalanced": "int main() { {\n",
+        "comment_only": "/* nothing here */\n",
+    }
+
+    def all_mutators(self):
+        return [mutator_for_issue(i) for i in range(5)]
+
+    def test_c_edge_cases_never_raise_unexpectedly(self):
+        for label, source in self.DEGENERATE_SOURCES.items():
+            test = make_test(source)
+            for mutator in self.all_mutators():
+                rng = random.Random(42)
+                try:
+                    out = mutator.mutate(test, rng)
+                except MutationError:
+                    continue  # the typed skip: explicitly allowed
+                assert isinstance(out, TestFile), (label, mutator)
+                assert out.issue == mutator.issue
+                assert isinstance(out.source, str)
+
+    def test_fortran_edge_cases_never_raise_unexpectedly(self):
+        for label, source in {
+            "empty": "",
+            "no_blocks": "program p\nend program p\n",
+            "single_assign": "program p\n  x = 1\nend program p\n",
+        }.items():
+            test = make_test(source, language="f90")
+            for mutator in self.all_mutators():
+                rng = random.Random(42)
+                try:
+                    out = mutator.mutate(test, rng)
+                except MutationError:
+                    continue
+                assert isinstance(out, TestFile), (label, mutator)
+
+    def test_no_brackets_skips_bracket_mutators(self):
+        test = make_test("int x;\n")
+        with pytest.raises(MutationError):
+            OpeningBracketMutator().mutate(test, random.Random(1))
+        with pytest.raises(MutationError):
+            LastSectionMutator().mutate(test, random.Random(1))
+
+    def test_no_directive_no_malloc_skips_issue0(self):
+        test = make_test("int main() { return 0; }\n")
+        with pytest.raises(MutationError):
+            DirectiveOrAllocationMutator().mutate(test, random.Random(1))
+
+    def test_no_statement_skips_issue2(self):
+        test = make_test("#pragma acc parallel loop\n")
+        with pytest.raises(MutationError):
+            UndeclaredVariableMutator().mutate(test, random.Random(1))
+
+    def test_random_replacement_always_applies(self):
+        # issue 3 ignores the input entirely, so even empty files work
+        out = RandomReplacementMutator().mutate(make_test(""), random.Random(1))
+        assert out.issue == 3
+        assert "#pragma" not in out.source
+        assert out.source.strip()
+
+    def test_mutators_ignore_global_random_state(self):
+        """Satellite: the explicit rng is the only randomness source."""
+        test = make_test(
+            "#include <stdio.h>\n"
+            "int main() {\n"
+            "    int a = 1;\n"
+            "#pragma acc parallel loop\n"
+            "    for (int i = 0; i < 4; i++) { a = a + i; }\n"
+            "    printf(\"%d\\n\", a);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        outputs = []
+        for global_seed in (0, 12345):
+            random.seed(global_seed)
+            row = []
+            for mutator in self.all_mutators():
+                try:
+                    row.append(mutator.mutate(test, random.Random(7)).source)
+                except MutationError:
+                    row.append(None)
+            row.append(RandomCodeGenerator(rng=random.Random(7)).generate())
+            row.append(RandomCodeGenerator(rng=random.Random(7)).generate_fortran())
+            outputs.append(row)
+        assert outputs[0] == outputs[1]

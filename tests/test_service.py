@@ -545,3 +545,36 @@ class TestHTTPService:
             server.shutdown()
             server.server_close()
             thread.join(10.0)
+
+
+class TestGetErrorHandling:
+    def test_stats_failure_answers_500_not_dropped_socket(self, service_server, monkeypatch):
+        """do_GET must mirror do_POST's catch-all: an exception inside a
+        stats provider becomes an HTTP 500, not an empty reply."""
+        def boom():
+            raise RuntimeError("stats provider broke")
+
+        monkeypatch.setattr(service_server.service, "stats_snapshot", boom)
+        client = client_for(service_server)
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.status == 500
+        assert "internal error" in str(excinfo.value)
+
+    def test_fuzz_stats_endpoint(self, service_server):
+        snap = client_for(service_server).fuzz_stats()
+        assert set(snap) >= {"campaigns", "executions", "discrepancies"}
+
+
+class TestServeBindErrors:
+    def test_port_in_use_exits_2_with_message(self, capsys):
+        from repro.cli import main as cli_main
+
+        blocker = make_server(port=0)
+        try:
+            host, port = blocker.server_address[:2]
+            rc = cli_main(["serve", "--port", str(port), "--no-cache"])
+            assert rc == 2
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            blocker.server_close()
