@@ -81,11 +81,20 @@ def _main(argv: list[str] | None = None) -> int:
         )
 
     def add_backend_flag(sub_parser: argparse.ArgumentParser) -> None:
+        # choices and help derive from the registry so a newly
+        # registered backend reaches the CLI without touching this file
+        from repro.runtime.interpreter import (
+            BACKEND_SUMMARIES,
+            DEFAULT_BACKEND,
+            EXECUTION_BACKENDS,
+        )
+
+        summary = "; ".join(
+            f"'{name}' ({BACKEND_SUMMARIES[name]})" for name in EXECUTION_BACKENDS
+        )
         sub_parser.add_argument(
-            "--backend", choices=("walk", "closure"), default="closure",
-            help="interpreter execution backend: 'closure' (lowered "
-                 "closures, 5-10x faster) or 'walk' (tree-walking "
-                 "reference evaluator)",
+            "--backend", choices=EXECUTION_BACKENDS, default=DEFAULT_BACKEND,
+            help=f"interpreter execution backend: {summary}",
         )
 
     def positive_int(text: str) -> int:
@@ -213,6 +222,13 @@ def _main(argv: list[str] | None = None) -> int:
         help="LLM-judge policy: divergent candidates only (default), "
              "every compiled candidate, or never",
     )
+    from repro.runtime.interpreter import EXECUTION_BACKENDS
+
+    pf_run.add_argument(
+        "--arms", default=",".join(EXECUTION_BACKENDS), metavar="A,B[,C...]",
+        help="comma-separated oracle arms (execution backends to cross-check; "
+             f"default: all of {','.join(EXECUTION_BACKENDS)})",
+    )
     pf_run.add_argument("--model-seed", type=int, default=20240822)
     pf_run.add_argument("--max-corpus", type=positive_int, default=512, metavar="N",
                         help="corpus size cap (divergent witnesses bypass it; "
@@ -302,15 +318,23 @@ def _make_cache(args: argparse.Namespace):
     return cache
 
 
-def _finish_cache(cache) -> None:
-    """Persist (if configured) and summarise cache effectiveness."""
+def _finish_cache(cache, backend: str | None = None) -> None:
+    """Persist (if configured) and summarise cache effectiveness.
+
+    ``backend`` names the execution backend the run used; the cache
+    itself is backend-agnostic (all backends produce byte-identical
+    results), so this is provenance for the operator, not a cache key.
+    """
     if cache is None:
         return
     cache.save()
     parts = ", ".join(
         f"{ns.name} {ns.hits}/{ns.hits + ns.misses}" for ns in cache.namespaces
     )
-    print(f"cache: {cache.hits} hits, {cache.misses} misses ({parts})")
+    line = f"cache: {cache.hits} hits, {cache.misses} misses ({parts})"
+    if backend is not None:
+        line += f"; backend {backend}"
+    print(line)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -334,12 +358,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             marker = "PASS" if judged.is_valid else "FAIL"
             print(f"[{marker}] {judged.name} ({judged.stage}): {judged.reason}")
         summary = report.summary()
-        print(f"\n{summary['valid']}/{summary['total']} files judged valid")
+        print(
+            f"\n{summary['valid']}/{summary['total']} files judged valid"
+            f" (backend {args.backend})"
+        )
         return 0 if not report.invalid_files else 1
     finally:
         # also reached on KeyboardInterrupt/SIGTERM: the scheduler has
         # drained by now, so persist whatever work completed
-        _finish_cache(cache)
+        _finish_cache(cache, backend=args.backend)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -396,9 +423,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for name in names:
             print(getattr(exp, name)().text)
             print()
+        print(f"experiment: {len(names)} artifact(s), backend {args.backend}")
         return 0
     finally:
-        _finish_cache(cache)
+        _finish_cache(cache, backend=args.backend)
 
 
 def _print_shard_summary(exp) -> None:
@@ -430,10 +458,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         path = write_experiments_md(exp, args.out)
         _print_shard_summary(exp)
-        print(f"wrote {path}")
+        print(f"wrote {path} (backend {args.backend})")
         return 0
     finally:
-        _finish_cache(cache)
+        _finish_cache(cache, backend=args.backend)
 
 
 def _bind_server(args: argparse.Namespace, cache):
@@ -554,7 +582,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
-    from repro.fuzz.campaign import Campaign, CampaignConfig
+    from repro.fuzz.campaign import Campaign
     from repro.fuzz.manifest import save_campaign
 
     languages = tuple(part.strip() for part in args.languages.split(",") if part.strip())
@@ -566,7 +594,28 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    config = CampaignConfig(
+    arms = tuple(part.strip() for part in args.arms.split(",") if part.strip())
+    try:
+        config = _fuzz_config(args, languages, arms)
+    except ValueError as exc:
+        print(f"fuzz run: {exc}", file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    try:
+        result = Campaign(config, cache=cache).run(progress=print)
+        out = save_campaign(result, args.out)
+        print(result.render_report())
+        print(f"\nwrote campaign to {out} (digest {result.digest()[:16]}; "
+              f"oracle arms {'+'.join(config.arms)})")
+        return 1 if result.findings else 0
+    finally:
+        _finish_cache(cache)
+
+
+def _fuzz_config(args: argparse.Namespace, languages: tuple, arms: tuple):
+    from repro.fuzz.campaign import CampaignConfig
+
+    return CampaignConfig(
         flavor=args.flavor,
         languages=languages,
         seed=args.seed,
@@ -579,16 +628,8 @@ def _cmd_fuzz_run(args: argparse.Namespace) -> int:
         triage=args.triage,
         model_seed=args.model_seed,
         max_corpus=args.max_corpus,
+        arms=arms,
     )
-    cache = _make_cache(args)
-    try:
-        result = Campaign(config, cache=cache).run(progress=print)
-        out = save_campaign(result, args.out)
-        print(result.render_report())
-        print(f"\nwrote campaign to {out} (digest {result.digest()[:16]})")
-        return 1 if result.findings else 0
-    finally:
-        _finish_cache(cache)
 
 
 def _cmd_fuzz_replay(args: argparse.Namespace) -> int:

@@ -39,8 +39,10 @@ class ExperimentConfig:
     flake_rates: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_FLAKE_RATES))
     openmp_max_version: float = 4.5
     step_limit: int = 3_000_000
-    #: interpreter evaluator: "closure" (lowered closures, the fast
-    #: default) or "walk" (the tree-walking executable spec)
+    #: interpreter evaluator: any name in
+    #: :data:`repro.runtime.interpreter.EXECUTION_BACKENDS` ("closure"
+    #: is the fast default, "walk" the executable spec, "codegen" the
+    #: generated-code backend)
     execution_backend: str = "closure"
     compile_workers: int = 2
     execute_workers: int = 2
@@ -62,9 +64,12 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
             raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {self.scale!r}")
-        if self.execution_backend not in ("walk", "closure"):
+        from repro.runtime.interpreter import EXECUTION_BACKENDS
+
+        if self.execution_backend not in EXECUTION_BACKENDS:
             raise ValueError(
-                f"execution_backend must be 'walk' or 'closure', got {self.execution_backend!r}"
+                f"execution_backend must be one of {EXECUTION_BACKENDS},"
+                f" got {self.execution_backend!r}"
             )
         if self.cache_max_entries < 1:
             raise ValueError(

@@ -9,8 +9,9 @@ feedback serially in slot order:
 * a candidate whose behaviour lights up a new coverage-frontier cell
   (feature ident, behaviour signature, or feature × signature) is
   accepted into the corpus and its operator's weight rises;
-* a walk/closure divergence becomes a :class:`Discrepancy` finding
-  (and a large weight reward — the operator found a backend bug);
+* any cross-backend divergence among the oracle arms becomes a
+  :class:`Discrepancy` finding (and a large weight reward — the
+  operator found a backend bug);
 * a typed skip or known behaviour decays the operator's weight.
 
 Every decision draws from the campaign's single seeded RNG or is a
@@ -58,17 +59,27 @@ class CampaignConfig:
     openmp_max_version: float = 4.5
     max_corpus: int = 512
     operators: tuple[str, ...] | None = None
+    arms: tuple[str, ...] | None = None  # None = every registered backend
 
     def __post_init__(self):
         if self.triage not in ("divergent", "all", "off"):
             raise ValueError(f"triage must be divergent/all/off, got {self.triage!r}")
         if self.rounds < 0 or self.batch_size < 1 or self.seed_count < 1:
             raise ValueError("rounds >= 0, batch_size >= 1, seed_count >= 1 required")
+        if self.arms is not None:
+            from repro.runtime.interpreter import EXECUTION_BACKENDS
+
+            unknown = [arm for arm in self.arms if arm not in EXECUTION_BACKENDS]
+            if unknown or len(self.arms) < 2:
+                raise ValueError(
+                    f"arms must be >= 2 of {EXECUTION_BACKENDS}, got {self.arms!r}"
+                )
 
     def to_json(self) -> dict:
         data = {k: getattr(self, k) for k in self.__dataclass_fields__}
         data["languages"] = list(self.languages)
         data["operators"] = list(self.operators) if self.operators else None
+        data["arms"] = list(self.arms) if self.arms else None
         return data
 
     @classmethod
@@ -77,6 +88,8 @@ class CampaignConfig:
         kwargs["languages"] = tuple(kwargs.get("languages", ("c", "cpp")))
         operators = kwargs.get("operators")
         kwargs["operators"] = tuple(operators) if operators else None
+        arms = kwargs.get("arms")
+        kwargs["arms"] = tuple(arms) if arms else None
         known = set(cls.__dataclass_fields__)
         return cls(**{k: v for k, v in kwargs.items() if k in known})
 
@@ -458,6 +471,7 @@ class Campaign:
                 cache=fuzz_cache,
                 workers=config.workers,
                 triage=config.triage,
+                arms=config.arms,
             ),
             TriageStage(
                 self.model_sim,
@@ -520,7 +534,7 @@ class Campaign:
                 state.discrepancies += 1
                 state.reward_discrepancy()
         if cand.judge is not None and not outcome.divergent:
-            run = outcome.closure
+            run = outcome.primary
             tools_clean = outcome.compiled and run is not None and run.returncode == 0
             if tools_clean and cand.judge.says_invalid:
                 verdict = cand.judge.verdict

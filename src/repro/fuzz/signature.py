@@ -52,7 +52,7 @@ def behavior_signature(outcome) -> str:
         return f"compile-fail:{codes}"
     if outcome.divergent:
         return "DIVERGENT"
-    run = outcome.closure
+    run = outcome.primary
     if run is None:
         return "not-run"
     fault = outcome_fault_class(run.fault, run.timed_out)

@@ -4,7 +4,7 @@ One fuzzing round fans its candidate batch over three worker pools:
 
 * ``mutate``       — apply the scheduled operator with the candidate's
   own seeded RNG (a :class:`MutationError` becomes a typed skip);
-* ``differential`` — compile + run both backends via
+* ``differential`` — compile + run every oracle arm via
   :class:`~repro.fuzz.differential.DifferentialRunner`;
 * ``triage``       — LLM-judge candidates the campaign's policy sends
   on (divergent ones always; optionally every survivor).
@@ -93,7 +93,7 @@ class MutateStage(Stage):
 
 
 class DifferentialStage(Stage):
-    """Run one candidate through both backends; route per triage policy."""
+    """Run one candidate through every arm; route per triage policy."""
 
     name = "differential"
 
@@ -105,6 +105,7 @@ class DifferentialStage(Stage):
         cache=None,
         workers: int = 2,
         triage: str = "divergent",  # 'divergent' | 'all' | 'off'
+        arms: tuple[str, ...] | None = None,  # None = all registered
     ):
         self.model = model
         self.step_limit = step_limit
@@ -112,6 +113,7 @@ class DifferentialStage(Stage):
         self.cache = cache
         self.workers = workers
         self.triage = triage
+        self.arms = arms
 
     def make_worker_state(self) -> DifferentialRunner:
         return DifferentialRunner(
@@ -119,6 +121,7 @@ class DifferentialStage(Stage):
             step_limit=self.step_limit,
             openmp_max_version=self.openmp_max_version,
             cache=self.cache,
+            arms=self.arms,
         )
 
     def process(self, payload: Candidate, runner: DifferentialRunner) -> StageOutcome:
@@ -135,9 +138,10 @@ class DifferentialStage(Stage):
 class TriageStage(Stage):
     """LLM-judge one surviving candidate (the paper's issue-4 detector).
 
-    The judge sees the closure backend's observables; its verdict joins
-    the finding so a human triaging a :class:`Discrepancy` knows whether
-    the candidate was even a plausible test to begin with.
+    The judge sees the primary arm's observables (``closure`` when that
+    arm runs, keeping digests stable across oracle widenings); its
+    verdict joins the finding so a human triaging a :class:`Discrepancy`
+    knows whether the candidate was even a plausible test to begin with.
     """
 
     name = "triage"
@@ -160,7 +164,7 @@ class TriageStage(Stage):
 
     def process(self, payload: Candidate, judge) -> StageOutcome:
         outcome = payload.outcome
-        run = outcome.closure
+        run = outcome.primary
         report = ToolReport(
             compile_rc=outcome.compile_rc,
             compile_stderr=outcome.compile_stderr,

@@ -47,7 +47,8 @@ class PipelineConfig:
     openmp_max_version: float = 4.5
     step_limit: int = 3_000_000
     model_seed: int = 20240822
-    #: interpreter evaluator: "closure" (lowered, fast) or "walk" (tree)
+    #: interpreter evaluator: any name in
+    #: :data:`repro.runtime.interpreter.EXECUTION_BACKENDS`
     execution_backend: str = "closure"
 
     def __post_init__(self) -> None:
@@ -55,9 +56,12 @@ class PipelineConfig:
             raise ValueError(f"flavor must be 'acc' or 'omp', got {self.flavor!r}")
         if self.judge_kind not in ("direct", "indirect"):
             raise ValueError(f"judge_kind must be 'direct' or 'indirect', got {self.judge_kind!r}")
-        if self.execution_backend not in ("walk", "closure"):
+        from repro.runtime.interpreter import EXECUTION_BACKENDS
+
+        if self.execution_backend not in EXECUTION_BACKENDS:
             raise ValueError(
-                f"execution_backend must be 'walk' or 'closure', got {self.execution_backend!r}"
+                f"execution_backend must be one of {EXECUTION_BACKENDS},"
+                f" got {self.execution_backend!r}"
             )
         for knob in ("compile_workers", "execute_workers", "judge_workers"):
             if getattr(self, knob) < 1:

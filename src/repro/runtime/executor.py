@@ -5,10 +5,12 @@
 :class:`ExecutionResult` carrying the (return code, stdout, stderr)
 triple the validation pipeline and the agent-based judge consume.
 
-``backend`` selects the interpreter's evaluator (``"walk"`` tree-walker
-or the default ``"closure"`` compiled-closure backend); both are
-observationally identical, which ``tests/test_backend_equivalence.py``
-asserts corpus-wide.
+``backend`` selects the interpreter's evaluator — any name in
+:data:`repro.runtime.interpreter.EXECUTION_BACKENDS` (``"walk"``
+tree-walker, the default ``"closure"`` compiled-closure backend, or
+``"codegen"`` generated code objects); all are observationally
+identical, which ``tests/test_backend_equivalence.py`` asserts
+corpus-wide.
 """
 
 from __future__ import annotations

@@ -16,10 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.validator import JudgedFile
+from repro.runtime.interpreter import EXECUTION_BACKENDS
 
 FLAVORS = ("acc", "omp")
 JUDGE_KINDS = ("direct", "indirect")
-BACKENDS = ("walk", "closure")
+#: derived from the runtime registry: a newly registered backend is
+#: immediately requestable over the wire
+BACKENDS = EXECUTION_BACKENDS
 
 #: Per-request file cap: one request is one admission-queue slot, so a
 #: giant request would starve the batch window for everyone else.

@@ -169,14 +169,26 @@ class ValidationService:
 
     def stats_snapshot(self) -> dict:
         """Everything ``/v1/stats`` serves, copied under the right locks."""
+        from repro.runtime.interpreter import DEFAULT_BACKEND, EXECUTION_BACKENDS
+
         with self._counter_lock:
             counters = dict(self._counters)
+        with self._validators_lock:
+            active = sorted({options.backend for options in self._validators})
         return {
             "service": {
                 "uptime_seconds": round(time.monotonic() - self.started_at, 3),
                 "model_seed": self.model_seed,
                 **counters,
                 "batching": self.batcher.snapshot(),
+                # which backend produced served verdicts: the execute
+                # cache is backend-agnostic by design, so operators
+                # read this (not cache keys) to attribute a run
+                "backends": {
+                    "registered": list(EXECUTION_BACKENDS),
+                    "default": DEFAULT_BACKEND,
+                    "active": active,
+                },
             },
             "pipeline": self.pipeline_stats.snapshot(),
             "cache": self.cache.summary() if self.cache is not None else None,

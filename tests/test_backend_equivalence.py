@@ -1,12 +1,15 @@
-"""Differential suite: the walk and closure backends must be
-byte-identical — return code, stdout, stderr, fault AND step count —
-over the full template corpus, a mutant sample, and targeted
-slot-resolution edge cases.
+"""Differential suite: ALL registered backends must be byte-identical
+— return code, stdout, stderr, fault AND step count — over the full
+template corpus, a mutant sample, and targeted slot-resolution edge
+cases.
 
 The walk backend is the executable spec; the closure backend
-(:mod:`repro.runtime.compilebody`) is the fast path.  Any drift between
+(:mod:`repro.runtime.compilebody`) and the codegen backend
+(:mod:`repro.runtime.codegen`) are the fast paths.  Any drift between
 them silently corrupts cached results (the execute cache deliberately
 does not key on the backend), so equality here is a hard invariant.
+The suite derives its backend list from ``EXECUTION_BACKENDS`` — a
+newly registered backend is pulled into every assertion automatically.
 """
 
 from __future__ import annotations
@@ -14,24 +17,38 @@ from __future__ import annotations
 import pytest
 
 from repro.compiler.driver import Compiler
+from repro.runtime import EXECUTION_BACKENDS
 from repro.runtime.executor import ExecutionResult, Executor
+
+#: every backend that must match the walker (the executable spec)
+FAST_BACKENDS = tuple(b for b in EXECUTION_BACKENDS if b != "walk")
+
+
+def run_each(source: str, flavor: str = "acc", filename: str = "t.c",
+             step_limit: int = 2_000_000) -> dict[str, ExecutionResult]:
+    compiled = Compiler(model=flavor).compile(source, filename)
+    assert compiled.ok, compiled.stderr
+    return {
+        backend: Executor(step_limit=step_limit, backend=backend).run(compiled)
+        for backend in EXECUTION_BACKENDS
+    }
 
 
 def run_both(source: str, flavor: str = "acc", filename: str = "t.c",
-             step_limit: int = 2_000_000) -> tuple[ExecutionResult, ExecutionResult]:
-    compiled = Compiler(model=flavor).compile(source, filename)
-    assert compiled.ok, compiled.stderr
-    walk = Executor(step_limit=step_limit, backend="walk").run(compiled)
-    closure = Executor(step_limit=step_limit, backend="closure").run(compiled)
-    return walk, closure
+             step_limit: int = 2_000_000) -> tuple[ExecutionResult, ...]:
+    """All backends' results, walk first (kept for test readability)."""
+    results = run_each(source, flavor, filename, step_limit)
+    return tuple(results[b] for b in EXECUTION_BACKENDS)
 
 
 def assert_identical(source: str, flavor: str = "acc", filename: str = "t.c",
                      step_limit: int = 2_000_000) -> ExecutionResult:
-    walk, closure = run_both(source, flavor, filename, step_limit)
-    assert walk == closure, (
-        f"backend drift:\n  walk:    {walk}\n  closure: {closure}"
-    )
+    results = run_each(source, flavor, filename, step_limit)
+    walk = results["walk"]
+    for backend in FAST_BACKENDS:
+        assert results[backend] == walk, (
+            f"backend drift:\n  walk:    {walk}\n  {backend}: {results[backend]}"
+        )
     return walk
 
 
@@ -43,18 +60,18 @@ def assert_identical(source: str, flavor: str = "acc", filename: str = "t.c",
 class TestCorpusEquivalence:
     def _check_population(self, tests, flavor):
         compiler = Compiler(model=flavor)
-        walk_exec = Executor(backend="walk")
-        closure_exec = Executor(backend="closure")
+        executors = {b: Executor(backend=b) for b in EXECUTION_BACKENDS}
         checked = 0
         for test in tests:
             compiled = compiler.compile(test.source, test.name)
             if not compiled.ok or compiled.unit is None:
                 continue
-            walk = walk_exec.run(compiled)
-            closure = closure_exec.run(compiled)
-            assert walk == closure, (
-                f"{test.name}:\n  walk:    {walk}\n  closure: {closure}"
-            )
+            walk = executors["walk"].run(compiled)
+            for backend in FAST_BACKENDS:
+                result = executors[backend].run(compiled)
+                assert result == walk, (
+                    f"{test.name}:\n  walk:    {walk}\n  {backend}: {result}"
+                )
             checked += 1
         assert checked > 0
 
@@ -174,11 +191,13 @@ class TestSlotResolution:
         assert result.stdout == "go\n"
 
     def test_step_limit_identical_at_timeout(self):
-        walk, closure = run_both(
+        results = run_each(
             "int main() { int i = 0; while (1) { i = i + 1; } return i; }",
             step_limit=5_000,
         )
-        assert walk == closure
+        walk = results["walk"]
+        for backend in FAST_BACKENDS:
+            assert results[backend] == walk
         assert walk.timed_out and walk.steps == 5_001
 
     def test_incdec_coerces_int_in_float_slot(self):
@@ -358,8 +377,10 @@ class TestFaultEquivalence:
         ("int missing_function();\nint main() { return missing_function(); }", 127),
     ])
     def test_fault_triple_identical(self, source, rc):
-        walk, closure = run_both(source)
-        assert walk == closure
+        results = run_each(source)
+        walk = results["walk"]
+        for backend in FAST_BACKENDS:
+            assert results[backend] == walk
         assert walk.returncode == rc
 
     def test_fault_mid_output_keeps_partial_stdout(self):

@@ -37,6 +37,7 @@ from repro.fuzz.differential import (
     Discrepancy,
     divergent_fields,
 )
+from repro.runtime.interpreter import EXECUTION_BACKENDS
 from repro.fuzz.manifest import (
     CampaignManifest,
     ReplayError,
@@ -243,7 +244,7 @@ class TestSignatures:
         ok = ExecutionResult(returncode=0, stdout="x", stderr="", steps=10)
         bad = ExecutionResult(returncode=1, stdout="x", stderr="", steps=10)
         outcome = DifferentialOutcome(
-            compile_rc=0, walk=ok, closure=bad,
+            compile_rc=0, results={"walk": ok, "closure": bad},
             divergent_fields=divergent_fields(ok, bad),
         )
         assert behavior_signature(outcome) == "DIVERGENT"
@@ -268,8 +269,11 @@ class TestDifferential:
         outcome = runner.run(fuzz_seeds[0])
         assert outcome.compiled
         assert not outcome.divergent
-        assert outcome.executions == 2
-        assert outcome.walk == outcome.closure
+        assert outcome.executions == len(EXECUTION_BACKENDS)
+        assert set(outcome.results) == set(EXECUTION_BACKENDS)
+        reference = outcome.walk
+        for arm, run in outcome.results.items():
+            assert run == reference, f"arm {arm} diverged from walk"
 
     def test_compile_failure_runs_nothing(self):
         test = TestFile(name="bad.c", language="c", model="acc",
@@ -312,7 +316,8 @@ class TestDifferential:
     def test_discrepancy_json_round_trip(self):
         finding = Discrepancy(
             name="fz.c", operator="dead-store", source="int main(){}",
-            fields=("steps",), walk={"steps": 10}, closure={"steps": 11},
+            fields=("steps",),
+            results={"walk": {"steps": 10}, "closure": {"steps": 11}},
         )
         assert Discrepancy.from_json(finding.to_json()) == finding
         assert "dead-store" in finding.render()
@@ -435,7 +440,7 @@ class TestCampaign:
             return Candidate(
                 index=0, parent=test, operator="dead-store", seed=1, test=test,
                 outcome=DifferentialOutcome(
-                    compile_rc=0, walk=ok, closure=bad,
+                    compile_rc=0, results={"walk": ok, "closure": bad},
                     divergent_fields=divergent_fields(ok, bad),
                 ),
             )
