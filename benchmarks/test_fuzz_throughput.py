@@ -19,7 +19,6 @@ ISSUE-5 gates:
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -114,8 +113,9 @@ def test_campaign_parallel_vs_serial_and_coverage_growth(emit_artifact):
         "model_speedup": round(speedup, 3),
         "digest": parallel.digest(),
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_fuzz.json").write_text(json.dumps(payload, indent=2) + "\n")
+    from repro.core.atomicio import atomic_write_json
+
+    atomic_write_json(OUTPUT_DIR / "BENCH_fuzz.json", payload, indent=2)
     emit_artifact(
         "fuzz_campaign",
         "\n".join(

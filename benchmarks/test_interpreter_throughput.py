@@ -25,7 +25,6 @@ equivalence suite proper lives in ``tests/test_backend_equivalence.py``.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -227,10 +226,11 @@ def test_backend_speedups(compiled_programs, emit_artifact):
         "programs": matrix,
         "gates": gates,
     }
+    from repro.core.atomicio import atomic_write_json
+
     output_dir = Path(__file__).parent / "output"
-    output_dir.mkdir(exist_ok=True)
-    (output_dir / "BENCH_interpreter.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_json(
+        output_dir / "BENCH_interpreter.json", payload, indent=2, sort_keys=True
     )
 
     for gate, spec in gates.items():

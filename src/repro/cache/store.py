@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import contextlib
 import json
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -177,9 +176,12 @@ class ResultCache:
                         if len(payload) >= self.max_entries:
                             break
                         payload.setdefault(key, raw)
-                tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-                tmp.write_text(json.dumps(payload))
-                tmp.replace(path)
+                # imported here, not at module top: repro.core's package
+                # __init__ pulls in the validator stack, which reaches
+                # back into this module
+                from repro.core.atomicio import atomic_write_text
+
+                atomic_write_text(path, json.dumps(payload), fault_tag="cache")
         except (OSError, TypeError, ValueError):
             return None
         return path

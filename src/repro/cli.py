@@ -5,13 +5,19 @@ Subcommands:
 * ``validate <files...>`` — run the validation pipeline on source files;
 * ``generate`` — emit a synthetic V&V corpus to a directory;
 * ``probe`` — apply negative probing to a saved suite;
-* ``experiment <tableN|figN|all>`` — regenerate paper artifacts;
+* ``experiment <tableN|figN|all>`` — regenerate paper artifacts
+  (``--run-dir``/``--resume`` make the run durable: per-cell
+  checkpoints plus a progress record that a rerun picks up);
 * ``report`` — write EXPERIMENTS.md (paper-vs-measured);
-* ``serve`` — run the validation daemon (HTTP, batched admission);
+* ``serve`` — run the validation daemon (HTTP, batched admission;
+  ``--jobs-dir`` enables the durable job queue);
 * ``client`` — validate files against a running daemon;
+* ``jobs`` — submit/inspect durable jobs on a running daemon;
 * ``cache`` — inspect or purge an on-disk ``--cache-dir``;
 * ``fuzz`` — coverage-guided differential fuzzing campaigns
-  (``run`` / ``replay`` / ``minimize`` / ``report``);
+  (``run`` / ``replay`` / ``minimize`` / ``report``); ``run``
+  checkpoints every round and ``run --resume DIR`` continues an
+  interrupted campaign to a digest-identical manifest;
 * ``coverage`` — print the feature-coverage matrix for a suite or
   campaign corpus.
 
@@ -135,9 +141,23 @@ def _main(argv: list[str] | None = None) -> int:
     p_probe.add_argument("--out", default="probed-out")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    p_exp.add_argument("artifact", help="table1..table9, fig3..fig6, or 'all'")
+    p_exp.add_argument(
+        "artifact", nargs="?", default=None,
+        help="table1..table9, fig3..fig6, or 'all' "
+             "(optional when resuming a --run-dir)",
+    )
     p_exp.add_argument("--scale", choices=("paper", "small", "tiny"), default="small")
     p_exp.add_argument("--seed", type=int, default=20240822)
+    p_exp.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="make the run durable: checkpoint each matrix cell under "
+             "DIR and record progress + artifact digest there",
+    )
+    p_exp.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="continue an interrupted --run-dir run: reuse its recorded "
+             "spec and every checkpointed cell, compute only the rest",
+    )
     add_cache_flags(p_exp)
     add_backend_flag(p_exp)
     add_jobs_flag(p_exp)
@@ -180,6 +200,11 @@ def _main(argv: list[str] | None = None) -> int:
     )
     p_serve.add_argument("--model-seed", type=int, default=20240822)
     p_serve.add_argument(
+        "--jobs-dir", default=None, metavar="DIR",
+        help="enable the durable job queue (POST /v1/jobs): journal and "
+             "work dirs live under DIR and survive daemon restarts",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
     add_cache_flags(p_serve)
@@ -198,6 +223,49 @@ def _main(argv: list[str] | None = None) -> int:
         "--stats", action="store_true",
         help="print the daemon's /v1/stats after (or instead of) validating",
     )
+
+    p_jobs = sub.add_parser(
+        "jobs", help="submit/inspect durable jobs on a running daemon"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def add_jobs_conn(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--port", type=int, default=8347)
+
+    pj_submit = jobs_sub.add_parser(
+        "submit", help="submit a campaign/experiment job from a spec file"
+    )
+    pj_submit.add_argument(
+        "spec",
+        help='JSON file: {"kind": "campaign"|"experiment", "spec": {...}}',
+    )
+    pj_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches done/failed",
+    )
+    pj_submit.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    add_jobs_conn(pj_submit)
+
+    pj_status = jobs_sub.add_parser("status", help="print one job's record")
+    pj_status.add_argument("id")
+    add_jobs_conn(pj_status)
+
+    pj_list = jobs_sub.add_parser("list", help="list every journaled job")
+    add_jobs_conn(pj_list)
+
+    pj_wait = jobs_sub.add_parser(
+        "wait", help="poll a job until it is done or failed"
+    )
+    pj_wait.add_argument("id")
+    pj_wait.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    add_jobs_conn(pj_wait)
+
+    pj_artifacts = jobs_sub.add_parser(
+        "artifacts", help="list what a job has produced so far"
+    )
+    pj_artifacts.add_argument("id")
+    add_jobs_conn(pj_artifacts)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="coverage-guided differential fuzzing campaigns"
@@ -235,6 +303,18 @@ def _main(argv: list[str] | None = None) -> int:
                              "drops are counted in the report)")
     pf_run.add_argument("--out", default="fuzz-out", metavar="DIR",
                         help="campaign output dir (manifest + corpus + report)")
+    pf_run.add_argument(
+        "--checkpoint-every", type=positive_int, default=1, metavar="N",
+        help="write the resumable checkpoint after every N rounds "
+             "(the final round always checkpoints)",
+    )
+    pf_run.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="continue an interrupted campaign from DIR's checkpoint.json; "
+             "config flags are ignored (the checkpoint records them) and "
+             "the finished manifest is digest-identical to an "
+             "uninterrupted run",
+    )
     add_cache_flags(pf_run)
 
     pf_replay = fuzz_sub.add_parser(
@@ -296,6 +376,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "client":
         return _cmd_client(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "fuzz":
@@ -399,6 +481,11 @@ def _cmd_probe(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentConfig, Experiments
 
+    if args.run_dir or args.resume:
+        return _cmd_experiment_durable(args)
+    if args.artifact is None:
+        print("experiment: need an artifact name (or --resume DIR)", file=sys.stderr)
+        return 2
     cache = _make_cache(args)
     try:
         exp = Experiments(
@@ -427,6 +514,67 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     finally:
         _finish_cache(cache, backend=args.backend)
+
+
+def _cmd_experiment_durable(args: argparse.Namespace) -> int:
+    """The ``--run-dir``/``--resume`` path: checkpointed artifact runs."""
+    from repro.experiments.rundir import (
+        ALL_ARTIFACTS,
+        ExperimentRunSpec,
+        RunDirError,
+        load_run_spec,
+        run_artifacts,
+    )
+
+    run_dir = args.resume or args.run_dir
+    if args.resume:
+        try:
+            spec = load_run_spec(args.resume)
+        except RunDirError as exc:
+            print(f"experiment: {exc}", file=sys.stderr)
+            return 2
+        if spec is None:
+            print(f"experiment: no run to resume under {args.resume} "
+                  "(missing progress.json)", file=sys.stderr)
+            return 2
+        print(f"resuming experiment run in {args.resume} "
+              f"({len(spec.artifacts)} artifact(s), scale {spec.scale})")
+    else:
+        if args.artifact is None:
+            print("experiment: need an artifact name (or --resume DIR)",
+                  file=sys.stderr)
+            return 2
+        names = (
+            list(ALL_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+        )
+        spec = ExperimentRunSpec(
+            scale=args.scale, seed=args.seed, artifacts=tuple(names),
+            backend=args.backend, jobs=args.jobs,
+        )
+    cache = _make_cache(args)
+    try:
+        outcome = run_artifacts(spec, run_dir, cache=cache, progress=print)
+        for name in spec.artifacts:
+            print(outcome.texts[name])
+            print()
+        print(
+            f"experiment: {len(spec.artifacts)} artifact(s) in {outcome.run_dir} "
+            f"({outcome.reused_cells} cell(s) reused, "
+            f"{outcome.computed_cells} computed; digest {outcome.digest[:16]})"
+        )
+        return 0
+    except ValueError as exc:  # unknown artifact in spec
+        print(f"experiment: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            f"\nexperiment: interrupted — finished cells are checkpointed; "
+            f"rerun with --resume {run_dir}",
+            file=sys.stderr,
+        )
+        raise
+    finally:
+        _finish_cache(cache, backend=spec.backend)
 
 
 def _print_shard_summary(exp) -> None:
@@ -478,6 +626,7 @@ def _bind_server(args: argparse.Namespace, cache):
         max_batch_size=args.max_batch,
         max_latency=args.max_latency_ms / 1000.0,
         queue_capacity=args.queue_capacity,
+        jobs_dir=args.jobs_dir,
     )
 
 
@@ -489,10 +638,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
+    endpoints = "POST /v1/validate, GET /v1/stats"
+    if args.jobs_dir:
+        endpoints += f", POST /v1/jobs (journal: {args.jobs_dir})"
     print(
         f"serving on http://{host}:{port} "
         f"(batch<={args.max_batch}, latency<={args.max_latency_ms:g}ms, "
-        f"queue<={args.queue_capacity}) — POST /v1/validate, GET /v1/stats",
+        f"queue<={args.queue_capacity}) — {endpoints}",
         flush=True,
     )
     try:
@@ -569,6 +721,77 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return 3
 
 
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.jobs_command == "submit":
+            try:
+                payload = _json.loads(Path(args.spec).read_text())
+            except (OSError, _json.JSONDecodeError) as exc:
+                print(f"jobs submit: cannot read spec file: {exc}", file=sys.stderr)
+                return 2
+            if not isinstance(payload, dict) or "kind" not in payload:
+                print('jobs submit: spec file must be {"kind": ..., "spec": {...}}',
+                      file=sys.stderr)
+                return 2
+            record = client.submit_job(payload["kind"], payload.get("spec", {}))
+            print(f"submitted {record['id']} ({record['kind']}, "
+                  f"state {record['state']})")
+            if args.wait:
+                record = client.wait_for_job(record["id"], timeout=args.timeout)
+                return _print_job_outcome(record)
+            return 0
+        if args.jobs_command == "status":
+            print(_json.dumps(client.job(args.id), indent=2, sort_keys=True))
+            return 0
+        if args.jobs_command == "list":
+            records = client.jobs()
+            if not records:
+                print("no jobs journaled")
+            for record in records:
+                result = record.get("result") or {}
+                digest = result.get("digest", "")
+                suffix = f" digest {digest[:16]}" if digest else ""
+                print(f"{record['id']}  {record['state']:12s} "
+                      f"{record['kind']}{suffix}")
+            return 0
+        if args.jobs_command == "wait":
+            record = client.wait_for_job(args.id, timeout=args.timeout)
+            return _print_job_outcome(record)
+        if args.jobs_command == "artifacts":
+            artifacts = client.job_artifacts(args.id)
+            print(f"{artifacts['id']} ({artifacts['state']}) — {artifacts['dir']}")
+            for entry in artifacts["files"]:
+                print(f"  {entry['path']} ({entry['bytes']} bytes)")
+            if not artifacts["files"]:
+                print("  (no artifacts yet)")
+            return 0
+        return 2  # pragma: no cover - argparse enforces choices
+    except TimeoutError as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 3
+    except OSError as exc:
+        print(f"jobs: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 3
+
+
+def _print_job_outcome(record: dict) -> int:
+    import json as _json
+
+    print(_json.dumps(record, indent=2, sort_keys=True))
+    if record["state"] == "failed":
+        print(f"job {record['id']} failed: {record.get('error')}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.fuzz_command == "run":
         return _cmd_fuzz_run(args)
@@ -583,31 +806,63 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import Campaign
+    from repro.fuzz.checkpoint import CheckpointError, load_checkpoint
     from repro.fuzz.manifest import save_campaign
 
-    languages = tuple(part.strip() for part in args.languages.split(",") if part.strip())
-    unknown = [lang for lang in languages if lang not in ("c", "cpp", "f90")]
-    if unknown or not languages:
-        print(
-            f"fuzz run: unknown languages {unknown or args.languages!r} "
-            "(choose from c, cpp, f90)",
-            file=sys.stderr,
+    resume = None
+    if args.resume:
+        try:
+            resume = load_checkpoint(args.resume)
+        except CheckpointError as exc:
+            print(f"fuzz run: {exc}", file=sys.stderr)
+            return 2
+        if resume is None:
+            print(f"fuzz run: no checkpoint under {args.resume}", file=sys.stderr)
+            return 2
+        # the checkpoint is authoritative for both config and output dir
+        config = resume.config
+        out = args.resume
+        print(f"resuming campaign from {args.resume} "
+              f"(round {resume.next_round}/{config.rounds})")
+    else:
+        languages = tuple(
+            part.strip() for part in args.languages.split(",") if part.strip()
         )
-        return 2
-    arms = tuple(part.strip() for part in args.arms.split(",") if part.strip())
-    try:
-        config = _fuzz_config(args, languages, arms)
-    except ValueError as exc:
-        print(f"fuzz run: {exc}", file=sys.stderr)
-        return 2
+        unknown = [lang for lang in languages if lang not in ("c", "cpp", "f90")]
+        if unknown or not languages:
+            print(
+                f"fuzz run: unknown languages {unknown or args.languages!r} "
+                "(choose from c, cpp, f90)",
+                file=sys.stderr,
+            )
+            return 2
+        arms = tuple(part.strip() for part in args.arms.split(",") if part.strip())
+        try:
+            config = _fuzz_config(args, languages, arms)
+        except ValueError as exc:
+            print(f"fuzz run: {exc}", file=sys.stderr)
+            return 2
+        out = args.out
     cache = _make_cache(args)
     try:
-        result = Campaign(config, cache=cache).run(progress=print)
-        out = save_campaign(result, args.out)
+        result = Campaign(config, cache=cache).run(
+            progress=print,
+            checkpoint_dir=out,
+            checkpoint_every=args.checkpoint_every,
+            resume=resume,
+        )
+        save_campaign(result, out)
         print(result.render_report())
         print(f"\nwrote campaign to {out} (digest {result.digest()[:16]}; "
               f"oracle arms {'+'.join(config.arms)})")
         return 1 if result.findings else 0
+    except KeyboardInterrupt:
+        print(
+            f"\nfuzz run: interrupted — the last round boundary is "
+            f"checkpointed; rerun with --resume {out}",
+            file=sys.stderr,
+        )
+        raise
     finally:
         _finish_cache(cache)
 

@@ -6,6 +6,14 @@ test-suite maintainer actually wants: *"here are candidate tests, tell
 me which are valid."*
 """
 
+from repro.core.atomicio import atomic_write_bytes, atomic_write_json, atomic_write_text
 from repro.core.validator import JudgedFile, TestsuiteValidator, ValidationReport
 
-__all__ = ["TestsuiteValidator", "ValidationReport", "JudgedFile"]
+__all__ = [
+    "TestsuiteValidator",
+    "ValidationReport",
+    "JudgedFile",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+]

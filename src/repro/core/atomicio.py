@@ -1,0 +1,70 @@
+"""Atomic file writes: the one sanctioned way to persist a JSON artifact.
+
+Extracted from the cache store's save path (PR 1) because every durable
+artifact in the repo now depends on the same two-step discipline:
+
+1. write the full payload to a **writer-unique** tmp file next to the
+   target (``<name>.<pid>.<n>.tmp`` — concurrent processes differ by
+   pid, concurrent threads by the counter, so writers never collide), then
+2. ``os.replace`` it over the target — atomic on POSIX, so a reader (or
+   a process that resumes after a kill) sees either the old complete
+   file or the new complete file, never a torn one.
+
+Campaign checkpoints, experiment cell pickles, the job journal, suite
+manifests and ``BENCH_*.json`` all write through here.  Each call may
+name a ``fault_tag``; the fault-injection harness can then kill the
+process *between* the tmp write and the rename (point
+``atomic-write:<tag>``), which is exactly the window a torn-write bug
+would hide in — recovery tests prove the previous file survives intact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.testing.faultinject import fault_point
+
+PathLike = Union[str, Path]
+
+#: disambiguates concurrent writers *within* one process (threads)
+_counter = itertools.count()
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes, fault_tag: str | None = None) -> Path:
+    """Atomically replace *path* with *payload*; create parent dirs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_counter)}.tmp")
+    try:
+        tmp.write_bytes(payload)
+        if fault_tag is not None:
+            fault_point(f"atomic-write:{fault_tag}")
+        tmp.replace(path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str, fault_tag: str | None = None) -> Path:
+    return atomic_write_bytes(path, text.encode("utf-8"), fault_tag=fault_tag)
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload: object,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = False,
+    fault_tag: str | None = None,
+) -> Path:
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if indent is not None:
+        text += "\n"
+    return atomic_write_text(path, text, fault_tag=fault_tag)

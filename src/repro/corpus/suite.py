@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_text
 from repro.corpus.generator import TestFile
 
 
@@ -65,7 +66,7 @@ class TestSuite:
         root.mkdir(parents=True, exist_ok=True)
         manifest = []
         for test in self.files:
-            (root / test.name).write_text(test.source)
+            atomic_write_text(root / test.name, test.source)
             manifest.append(
                 {
                     "name": test.name,
@@ -76,8 +77,14 @@ class TestSuite:
                     "issue": test.issue,
                 }
             )
-        (root / "manifest.json").write_text(
-            json.dumps({"name": self.name, "model": self.model, "files": manifest}, indent=2)
+        # sources land before the manifest, and each write is atomic: a
+        # kill mid-save leaves either a loadable older suite or files a
+        # rewrite will simply replace — never a manifest naming sources
+        # that are torn or missing
+        atomic_write_text(
+            root / "manifest.json",
+            json.dumps({"name": self.name, "model": self.model, "files": manifest}, indent=2),
+            fault_tag="suite-manifest",
         )
         return root
 

@@ -1,0 +1,185 @@
+"""Durable experiment runs: a run directory that survives being killed.
+
+``llm4vv experiment <artifact> --run-dir DIR`` (and experiment jobs on
+the daemon) route through :func:`run_artifacts`, which gives a sweep
+the same durability contract the fuzz campaign has:
+
+* ``progress.json`` — the run's spec (scale, seed, artifacts, backend,
+  jobs) plus its state and, once finished, the artifact digest; written
+  atomically, so ``--resume DIR`` can always reconstruct what was asked
+  for.
+* ``cells/<cell>.pkl`` — one atomic pickle per finished matrix cell
+  (see :func:`repro.experiments.sharding.save_cell_result`), landed the
+  moment the cell completes.
+* ``artifacts.md`` — every requested table/figure rendered in order,
+  written once all cells exist.
+
+Resume loads the completed cell pickles, installs them into a fresh
+:class:`~repro.experiments.runner.Experiments`, computes only the
+missing cells, and renders — byte-identical to an uninterrupted run,
+because cells are deterministic and PR 3's sharding gate already proves
+pickled reports render the same bytes.  The digest recorded in
+``progress.json`` (a :func:`content_key` over the rendered texts) is
+what the crash-recovery tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache.keys import content_key
+from repro.core.atomicio import atomic_write_json, atomic_write_text
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sharding import _already_filled, _install, load_cell_results, plan, prefill
+
+RUN_VERSION = 1
+PROGRESS_NAME = "progress.json"
+ARTIFACTS_NAME = "artifacts.md"
+
+#: every standard artifact, in render order ("all")
+ALL_ARTIFACTS = tuple(f"table{i}" for i in range(1, 10)) + tuple(
+    f"fig{i}" for i in range(3, 7)
+)
+
+
+class RunDirError(Exception):
+    """A run directory exists but its progress record cannot be used."""
+
+
+@dataclass(frozen=True)
+class ExperimentRunSpec:
+    """What a durable experiment run computes (journal-portable)."""
+
+    scale: str = "small"
+    seed: int = 20240822
+    artifacts: tuple[str, ...] = ALL_ARTIFACTS
+    backend: str = "closure"
+    jobs: int = 1
+
+    def to_json(self) -> dict:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "artifacts": list(self.artifacts),
+            "backend": self.backend,
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExperimentRunSpec":
+        artifacts = data.get("artifacts")
+        return cls(
+            scale=data.get("scale", "small"),
+            seed=int(data.get("seed", 20240822)),
+            artifacts=tuple(artifacts) if artifacts else ALL_ARTIFACTS,
+            backend=data.get("backend", "closure"),
+            jobs=int(data.get("jobs", 1)),
+        )
+
+
+@dataclass
+class ExperimentRunOutcome:
+    """What :func:`run_artifacts` hands back to the CLI / job runner."""
+
+    texts: dict[str, str]  # artifact name -> rendered text, spec order
+    digest: str
+    reused_cells: int
+    computed_cells: int
+    run_dir: Path
+
+
+def load_run_spec(run_dir: str | Path) -> ExperimentRunSpec | None:
+    """The spec recorded in ``run_dir``'s progress.json; None if absent."""
+    path = Path(run_dir) / PROGRESS_NAME
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RunDirError(f"unreadable progress record {path}: {exc}") from exc
+    if not isinstance(data, dict) or "spec" not in data:
+        raise RunDirError(f"malformed progress record {path}")
+    return ExperimentRunSpec.from_json(data["spec"])
+
+
+def _write_progress(run_dir: Path, spec: ExperimentRunSpec, state: str,
+                    digest: str | None = None, cells: list[str] | None = None) -> None:
+    atomic_write_json(
+        run_dir / PROGRESS_NAME,
+        {
+            "version": RUN_VERSION,
+            "spec": spec.to_json(),
+            "state": state,
+            "digest": digest,
+            "cells": cells or [],
+        },
+        indent=2,
+        sort_keys=True,
+        fault_tag="experiment-progress",
+    )
+
+
+def run_artifacts(spec: ExperimentRunSpec, run_dir: str | Path, cache=None,
+                  progress=None, stop=None) -> ExperimentRunOutcome:
+    """Compute ``spec``'s artifacts durably under ``run_dir``.
+
+    Reuses any cell checkpoints already in the directory (resume after
+    a kill), computes the rest with per-cell checkpointing, renders the
+    artifacts and records the digest.  ``stop`` is honoured between
+    cells (serial path): a set event raises :class:`InterruptedError`
+    after everything finished so far has been checkpointed.
+    """
+    from repro.experiments.runner import Experiments
+
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    config = ExperimentConfig(
+        scale=spec.scale,
+        seed=spec.seed,
+        execution_backend=spec.backend,
+        jobs=spec.jobs,
+        cache_enabled=cache is not None,
+        cache_dir=(
+            str(cache.cache_dir)
+            if cache is not None and getattr(cache, "cache_dir", None) is not None
+            else None
+        ),
+    )
+    exp = Experiments(config, cache=cache)
+    names = list(spec.artifacts)
+    for name in names:
+        if getattr(exp, name, None) is None:
+            raise ValueError(f"unknown artifact {name!r}")
+
+    _write_progress(run_dir, spec, state="running")
+    needed = plan(names)
+    checkpointed = load_cell_results(run_dir)
+    reused = 0
+    for cell in needed:
+        result = checkpointed.get(cell.name)
+        if result is not None and not _already_filled(exp, cell):
+            _install(exp, result)
+            reused += 1
+            if progress:
+                progress(f"reusing checkpointed cell {cell.name}")
+    prefill(exp, artifacts=names, jobs=spec.jobs, checkpoint_dir=run_dir, stop=stop)
+
+    texts = {name: getattr(exp, name)().text for name in names}
+    digest = content_key("experiment-run", [[name, texts[name]] for name in names])
+    body = "".join(
+        f"## {name}\n\n```\n{texts[name]}\n```\n\n" for name in names
+    )
+    atomic_write_text(run_dir / ARTIFACTS_NAME, body, fault_tag="experiment-artifacts")
+    _write_progress(
+        run_dir, spec, state="done", digest=digest,
+        cells=[cell.name for cell in needed],
+    )
+    return ExperimentRunOutcome(
+        texts=texts,
+        digest=digest,
+        reused_cells=reused,
+        computed_cells=len(needed) - reused,
+        run_dir=run_dir,
+    )

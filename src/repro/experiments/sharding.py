@@ -48,13 +48,19 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import pickle
 import tempfile
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_bytes
 from repro.experiments.config import ExperimentConfig
 from repro.pipeline.stats import PipelineStats
+from repro.testing.faultinject import fault_point
+
+#: subdirectory of a durable run dir holding per-cell result pickles
+CELLS_DIRNAME = "cells"
 
 
 @dataclass(frozen=True)
@@ -201,6 +207,50 @@ def run_cell(
 
 
 # ----------------------------------------------------------------------
+# per-cell checkpoints (durable experiment runs)
+# ----------------------------------------------------------------------
+
+
+def _cell_checkpoint_path(run_dir: str | Path, cell_name: str) -> Path:
+    return Path(run_dir) / CELLS_DIRNAME / (cell_name.replace(":", "_") + ".pkl")
+
+
+def save_cell_result(run_dir: str | Path, result: CellResult) -> Path:
+    """Persist one finished cell into a run directory (atomic pickle).
+
+    The pickle is the same payload that crosses the process boundary in
+    a sharded run — PR 3's byte-identity gate already proves a report
+    that round-trips through pickle renders the same artifact bytes, so
+    resuming from these checkpoints cannot change the output.
+    """
+    path = _cell_checkpoint_path(run_dir, result.cell.name)
+    atomic_write_bytes(path, pickle.dumps(result), fault_tag="experiment-cell")
+    fault_point("experiment:post-cell")
+    return path
+
+
+def load_cell_results(run_dir: str | Path) -> dict[str, CellResult]:
+    """Completed cells previously checkpointed under ``run_dir``.
+
+    Unreadable pickles are skipped, not fatal: the atomic write keeps
+    torn files from existing, but a checkpoint that is damaged by other
+    means just means its cell is recomputed.
+    """
+    directory = Path(run_dir) / CELLS_DIRNAME
+    results: dict[str, CellResult] = {}
+    if not directory.is_dir():
+        return results
+    for path in sorted(directory.glob("*.pkl")):
+        try:
+            result = pickle.loads(path.read_bytes())
+        except Exception:
+            continue
+        if isinstance(result, CellResult):
+            results[result.cell.name] = result
+    return results
+
+
+# ----------------------------------------------------------------------
 # coordinator side
 # ----------------------------------------------------------------------
 
@@ -219,6 +269,8 @@ def run_cells(
     jobs: int | None = None,
     cache_dir: str | None = None,
     start_method: str | None = None,
+    checkpoint_dir: str | Path | None = None,
+    stop=None,
 ) -> list[CellResult]:
     """Fan ``cells`` over ``jobs`` worker processes; returns results in
     the order of ``cells``.
@@ -228,10 +280,28 @@ def run_cells(
     semantics.  ``start_method`` defaults to
     :func:`default_start_method`; results always cross back by pickle,
     so both start methods exercise the same (de)serialisation path.
+
+    ``checkpoint_dir`` persists each finished cell immediately (see
+    :func:`save_cell_result`), so a killed run resumes without redoing
+    completed cells.  ``stop`` (an event) is honoured between cells on
+    the serial path: a set event raises :class:`InterruptedError`, and
+    everything checkpointed so far stays on disk — the daemon's
+    checkpoint-then-drain boundary for experiment jobs.
     """
     jobs = config.jobs if jobs is None else jobs
     if jobs <= 1 or len(cells) <= 1:
-        return [run_cell(config, cell, cache_dir) for cell in cells]
+        results = []
+        for cell in cells:
+            if stop is not None and stop.is_set():
+                raise InterruptedError(
+                    f"stopped before cell {cell.name}; "
+                    f"{len(results)}/{len(cells)} cells checkpointed"
+                )
+            result = run_cell(config, cell, cache_dir)
+            if checkpoint_dir is not None:
+                save_cell_result(checkpoint_dir, result)
+            results.append(result)
+        return results
 
     # longest-processing-time submission: big cells first, so the pool
     # never ends with a lone Part-Two shard running while others idle
@@ -245,7 +315,16 @@ def run_cells(
                 i: pool.apply_async(run_cell, (config, cells[i], cache_dir))
                 for i in order
             }
-            results = [pending[i].get() for i in range(len(cells))]
+            # collect in submission (roughly completion) order so each
+            # result is checkpointed as soon as it is available, not
+            # after the slowest cell lands
+            collected: dict[int, CellResult] = {}
+            for i in order:
+                result = pending[i].get()
+                if checkpoint_dir is not None:
+                    save_cell_result(checkpoint_dir, result)
+                collected[i] = result
+            results = [collected[i] for i in range(len(cells))]
     return results
 
 
@@ -277,7 +356,8 @@ def _package_root_on_pythonpath():
 
 
 def prefill(
-    experiments, artifacts: list[str] | None = None, jobs: int | None = None
+    experiments, artifacts: list[str] | None = None, jobs: int | None = None,
+    checkpoint_dir: str | Path | None = None, stop=None,
 ) -> PipelineStats | None:
     """Compute the cells ``artifacts`` need and install them into
     ``experiments``, so subsequent ``tableN()``/``figN()`` calls are
@@ -312,7 +392,10 @@ def prefill(
             # warm-start from results this instance already holds
             for namespace in experiments.cache.namespaces:
                 namespace.save_to(cache_dir)
-        results = run_cells(config, cells, jobs=jobs, cache_dir=cache_dir)
+        results = run_cells(
+            config, cells, jobs=jobs, cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir, stop=stop,
+        )
         aggregate = PipelineStats()
         for result in results:
             _install(experiments, result)

@@ -129,6 +129,18 @@ class OperatorState:
             "discrepancies": self.discrepancies,
         }
 
+    @classmethod
+    def from_json(cls, data: dict) -> "OperatorState":
+        return cls(
+            name=data["name"],
+            weight=float(data.get("weight", 1.0)),
+            scheduled=int(data.get("scheduled", 0)),
+            applied=int(data.get("applied", 0)),
+            skipped=int(data.get("skipped", 0)),
+            accepted=int(data.get("accepted", 0)),
+            discrepancies=int(data.get("discrepancies", 0)),
+        )
+
 
 @dataclass
 class CorpusEntry:
@@ -214,6 +226,21 @@ class CampaignStats:
             "acceptance_curve": list(self.acceptance_curve),
         }
 
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignStats":
+        stats = cls()
+        for name in (
+            "rounds", "scheduled", "applied", "skipped", "compile_failures",
+            "accepted", "discrepancies", "cap_dropped", "executions",
+            "judge_calls",
+        ):
+            setattr(stats, name, int(data.get(name, 0)))
+        for name in ("wall_seconds", "serial_wall_model", "parallel_wall_model"):
+            setattr(stats, name, float(data.get(name, 0.0)))
+        stats.coverage_curve = [int(v) for v in data.get("coverage_curve", [])]
+        stats.acceptance_curve = [int(v) for v in data.get("acceptance_curve", [])]
+        return stats
+
 
 @dataclass
 class TriageFlag:
@@ -245,6 +272,11 @@ class CampaignResult:
     stats: CampaignStats
     operator_states: dict[str, OperatorState]
     schedule: list[list[dict]]  # recorded (parent, operator, seed) per round
+    #: True when the run stopped at a round boundary on request (job
+    #: checkpoint-then-drain) rather than finishing every round; the
+    #: state through the last completed round is on disk in the
+    #: checkpoint, and the result must not be saved as a final manifest
+    interrupted: bool = False
 
     def digest(self) -> str:
         """Content address of the observable outcome (replay identity)."""
@@ -318,9 +350,32 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def run(self, schedule_override: list[list[dict]] | None = None,
-            progress=None) -> CampaignResult:
-        """Run the campaign (or exactly replay a recorded schedule)."""
+            progress=None, checkpoint_dir: str | None = None,
+            checkpoint_every: int = 1, resume=None,
+            stop: threading.Event | None = None) -> CampaignResult:
+        """Run the campaign (or exactly replay a recorded schedule).
+
+        Durability knobs:
+
+        * ``checkpoint_dir`` — write an atomic resume checkpoint
+          (``checkpoint.json``) into this directory after the seed phase
+          and after every ``checkpoint_every``-th round.  The checkpoint
+          captures the *entire* round-loop state — corpus, frontier
+          keys, operator weights (full precision), the serial RNG's
+          decision-stream position, stats and the recorded schedule —
+          so a resumed run replays the exact remaining decision stream.
+        * ``resume`` — a :class:`~repro.fuzz.checkpoint.CampaignCheckpoint`;
+          skips seeding, restores the saved state and continues from the
+          next unfinished round.  The final result is digest-identical
+          to an uninterrupted run of the same config.
+        * ``stop`` — optional event checked at round boundaries; when
+          set, the run checkpoints what it has and returns early with
+          ``result.interrupted`` True (the daemon's SIGTERM
+          "checkpoint then drain" path).
+        """
         import random as _random
+
+        from repro.testing.faultinject import fault_point
 
         config = self.config
         rng = _random.Random(f"fuzz-campaign:{config.seed}")
@@ -332,26 +387,67 @@ class Campaign:
         findings: list[Discrepancy] = []
         triage_flags: list[TriageFlag] = []
         schedule: list[list[dict]] = []
+        start_round = 1
+        interrupted = False
         started = time.perf_counter()
 
-        seeds = self._seed_tests()
-        seed_candidates = [
-            Candidate(index=i, parent=test, operator="", seed=0)
-            for i, test in enumerate(seeds)
-        ]
-        processed = self._run_batch(seed_candidates, round_no=0, stats=stats)
-        for cand in processed:
-            entry = self._absorb(cand, frontier, states, stats, findings,
-                                 triage_flags, accept_always=True)
-            if entry is not None:
-                corpus.append(entry)
-                by_name[entry.test.name] = entry
-        stats.coverage_curve.append(len(frontier))
-        stats.acceptance_curve.append(len(corpus))
-        if progress:
-            progress(f"seeded {len(corpus)} tests, frontier {len(frontier)}")
+        if resume is not None:
+            (rng, stats, frontier, states, corpus, findings, triage_flags,
+             schedule, start_round) = resume.restore()
+            unknown = set(states) - set(self.operators)
+            if unknown or resume.config.to_json() != config.to_json():
+                raise ValueError(
+                    "checkpoint does not match this campaign's config/operators"
+                )
+            by_name = {entry.test.name: entry for entry in corpus}
+            if progress:
+                progress(
+                    f"resumed at round {start_round}: corpus {len(corpus)}, "
+                    f"frontier {len(frontier)}, findings {len(findings)}"
+                )
+        wall_base = stats.wall_seconds
 
-        for round_no in range(1, config.rounds + 1):
+        def write_checkpoint(next_round: int, point: str) -> None:
+            if checkpoint_dir is None:
+                return
+            from repro.fuzz.checkpoint import CampaignCheckpoint
+
+            CampaignCheckpoint.capture(
+                config=config, next_round=next_round, rng=rng,
+                frontier=frontier, corpus=corpus, states=states, stats=stats,
+                findings=findings, triage_flags=triage_flags,
+                schedule=schedule,
+                wall_seconds=wall_base + (time.perf_counter() - started),
+            ).save(checkpoint_dir)
+            fault_point(point)
+
+        if resume is None:
+            seeds = self._seed_tests()
+            seed_candidates = [
+                Candidate(index=i, parent=test, operator="", seed=0)
+                for i, test in enumerate(seeds)
+            ]
+            processed = self._run_batch(seed_candidates, round_no=0, stats=stats)
+            for cand in processed:
+                entry = self._absorb(cand, frontier, states, stats, findings,
+                                     triage_flags, accept_always=True)
+                if entry is not None:
+                    corpus.append(entry)
+                    by_name[entry.test.name] = entry
+            stats.coverage_curve.append(len(frontier))
+            stats.acceptance_curve.append(len(corpus))
+            if progress:
+                progress(f"seeded {len(corpus)} tests, frontier {len(frontier)}")
+            write_checkpoint(1, "campaign:post-seed")
+
+        for round_no in range(start_round, config.rounds + 1):
+            if stop is not None and stop.is_set():
+                interrupted = True
+                if progress:
+                    progress(
+                        f"stop requested: checkpointed through round {round_no - 1}"
+                    )
+                break
             if schedule_override is not None:
                 if round_no - 1 >= len(schedule_override):
                     break
@@ -410,8 +506,10 @@ class Campaign:
                     f"round {round_no}: corpus {len(corpus)}, "
                     f"frontier {len(frontier)}, findings {len(findings)}"
                 )
+            if round_no % max(1, checkpoint_every) == 0 or round_no == config.rounds:
+                write_checkpoint(round_no + 1, "campaign:post-round")
 
-        stats.wall_seconds = time.perf_counter() - started
+        stats.wall_seconds = wall_base + (time.perf_counter() - started)
         coverage = measure_coverage(config.flavor, [e.test for e in corpus])
         result = CampaignResult(
             config=config,
@@ -422,8 +520,12 @@ class Campaign:
             stats=stats,
             operator_states=states,
             schedule=schedule,
+            interrupted=interrupted,
         )
-        _REGISTRY.record(result)
+        if not interrupted:
+            # partial runs stay out of the process-wide counters: the
+            # resumed continuation will record the completed campaign
+            _REGISTRY.record(result)
         return result
 
     # ------------------------------------------------------------------

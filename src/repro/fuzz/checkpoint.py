@@ -1,0 +1,212 @@
+"""Round-boundary campaign checkpoints: atomic, resumable, replay-exact.
+
+A checkpoint is everything :meth:`Campaign.run`'s round loop mutates,
+frozen at a round boundary:
+
+* the corpus (full :class:`TestFile` fields plus each entry's
+  signature and frontier keys) and the frontier key set;
+* operator weights at **full float precision** — ``OperatorState``'s
+  display JSON rounds to 6 decimals, which would be enough to nudge a
+  ``random.choices`` boundary and fork the decision stream;
+* the serial RNG's exact Mersenne-Twister state, captured *after* the
+  last completed round's draws, so the first resumed draw is the same
+  draw the uninterrupted run would have made;
+* accumulated findings, triage flags, stats and the recorded schedule.
+
+One file (``checkpoint.json``), written through
+:func:`repro.core.atomicio.atomic_write_json` with fault tag
+``checkpoint``: a kill mid-write leaves the previous round's checkpoint
+intact, so ``--resume`` simply replays one more round.  That invariant
+— resume after SIGKILL at *any* instrumented point yields a manifest
+digest-identical to an uninterrupted control run — is enforced by
+``tests/test_durability.py`` and the CI crash-recovery smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.atomicio import atomic_write_json
+from repro.corpus.generator import TestFile
+from repro.fuzz.campaign import (
+    CampaignConfig,
+    CampaignStats,
+    CorpusEntry,
+    CoverageFrontier,
+    OperatorState,
+    TriageFlag,
+)
+from repro.fuzz.differential import Discrepancy
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+class CheckpointError(Exception):
+    """A checkpoint file exists but cannot be read or is incompatible."""
+
+
+def _entry_to_json(entry: CorpusEntry) -> dict:
+    test = entry.test
+    return {
+        "name": test.name,
+        "language": test.language,
+        "model": test.model,
+        "source": test.source,
+        "template": test.template,
+        "features": list(test.features),
+        "issue": test.issue,
+        "signature": entry.signature,
+        "keys": list(entry.keys),
+        "new_keys": list(entry.new_keys),
+    }
+
+
+def _entry_from_json(data: dict) -> CorpusEntry:
+    return CorpusEntry(
+        test=TestFile(
+            name=data["name"],
+            language=data["language"],
+            model=data["model"],
+            source=data["source"],
+            template=data["template"],
+            features=tuple(data.get("features", ())),
+            issue=data.get("issue"),
+        ),
+        signature=data["signature"],
+        keys=tuple(data.get("keys", ())),
+        new_keys=tuple(data.get("new_keys", ())),
+    )
+
+
+@dataclass
+class CampaignCheckpoint:
+    """The JSON-portable frozen state of a campaign at a round boundary."""
+
+    config: CampaignConfig
+    next_round: int
+    rng_state: list  # [version, [625 ints], gauss_next] from Random.getstate()
+    frontier_keys: list[str]
+    corpus: list[dict]
+    operator_states: list[dict]
+    findings: list[dict]
+    triage_flags: list[dict]
+    stats: dict
+    schedule: list[list[dict]]
+
+    @classmethod
+    def capture(cls, *, config: CampaignConfig, next_round: int, rng,
+                frontier: CoverageFrontier, corpus: list[CorpusEntry],
+                states: dict[str, OperatorState], stats: CampaignStats,
+                findings: list[Discrepancy], triage_flags: list[TriageFlag],
+                schedule: list[list[dict]],
+                wall_seconds: float) -> "CampaignCheckpoint":
+        version, internal, gauss_next = rng.getstate()
+        stats_json = stats.to_json()
+        stats_json["wall_seconds"] = round(wall_seconds, 4)
+        return cls(
+            config=config,
+            next_round=next_round,
+            rng_state=[version, list(internal), gauss_next],
+            frontier_keys=sorted(frontier.keys),
+            corpus=[_entry_to_json(entry) for entry in corpus],
+            operator_states=[
+                # full-precision weight: see module docstring
+                {**states[name].to_json(), "weight": states[name].weight}
+                for name in sorted(states)
+            ],
+            findings=[finding.to_json() for finding in findings],
+            triage_flags=[flag.to_json() for flag in triage_flags],
+            stats=stats_json,
+            schedule=[list(plan) for plan in schedule],
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "config": self.config.to_json(),
+            "next_round": self.next_round,
+            "rng_state": self.rng_state,
+            "frontier_keys": self.frontier_keys,
+            "corpus": self.corpus,
+            "operator_states": self.operator_states,
+            "findings": self.findings,
+            "triage_flags": self.triage_flags,
+            "stats": self.stats,
+            "schedule": self.schedule,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignCheckpoint":
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version!r} is not supported "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        try:
+            return cls(
+                config=CampaignConfig.from_json(data["config"]),
+                next_round=int(data["next_round"]),
+                rng_state=data["rng_state"],
+                frontier_keys=list(data["frontier_keys"]),
+                corpus=list(data["corpus"]),
+                operator_states=list(data["operator_states"]),
+                findings=list(data["findings"]),
+                triage_flags=list(data["triage_flags"]),
+                stats=dict(data["stats"]),
+                schedule=[list(plan) for plan in data["schedule"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def save(self, directory: str | Path) -> Path:
+        return atomic_write_json(
+            Path(directory) / CHECKPOINT_NAME,
+            self.to_json(),
+            indent=2,
+            sort_keys=True,
+            fault_tag="checkpoint",
+        )
+
+    def restore(self):
+        """Rebuild the live round-loop state ``Campaign.run`` resumes from."""
+        import random as _random
+
+        version, internal, gauss_next = self.rng_state
+        rng = _random.Random()
+        rng.setstate((version, tuple(internal), gauss_next))
+        stats = CampaignStats.from_json(self.stats)
+        frontier = CoverageFrontier()
+        frontier.keys = set(self.frontier_keys)
+        states = {
+            data["name"]: OperatorState.from_json(data)
+            for data in self.operator_states
+        }
+        corpus = [_entry_from_json(data) for data in self.corpus]
+        findings = [Discrepancy.from_json(data) for data in self.findings]
+        triage_flags = [TriageFlag(**data) for data in self.triage_flags]
+        schedule = [list(plan) for plan in self.schedule]
+        return (rng, stats, frontier, states, corpus, findings, triage_flags,
+                schedule, self.next_round)
+
+
+def load_checkpoint(directory: str | Path) -> CampaignCheckpoint | None:
+    """Read ``<directory>/checkpoint.json``; None when absent.
+
+    A present-but-unreadable file raises :class:`CheckpointError` — the
+    atomic write discipline means that can only happen through external
+    damage, which deserves a loud failure, not a silent fresh start.
+    """
+    path = Path(directory) / CHECKPOINT_NAME
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed checkpoint {path}: not a JSON object")
+    return CampaignCheckpoint.from_json(data)

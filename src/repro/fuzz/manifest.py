@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_text
 from repro.corpus.suite import TestSuite
 from repro.fuzz.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.fuzz.differential import Discrepancy
@@ -105,10 +106,13 @@ class CampaignManifest:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
-        return path
+        # atomic: a kill mid-save (or a resumed run overwriting a stale
+        # manifest) must never leave a torn campaign.json
+        return atomic_write_text(
+            Path(path),
+            json.dumps(self.to_json(), indent=2, sort_keys=True),
+            fault_tag="campaign-manifest",
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignManifest":
@@ -132,7 +136,7 @@ def save_campaign(result: CampaignResult, directory: str | Path) -> Path:
         result.tests(),
     )
     suite.save(root / CORPUS_DIR)
-    (root / REPORT_NAME).write_text(result.render_report() + "\n")
+    atomic_write_text(root / REPORT_NAME, result.render_report() + "\n")
     return root
 
 

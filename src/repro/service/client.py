@@ -2,16 +2,29 @@
 
 :class:`ServiceClient` wraps ``http.client`` with the service's JSON
 contract, one connection per call (``Connection: close``), and a
-backpressure-aware retry loop: HTTP 429 sleeps for the server's
-``Retry-After`` hint and retries up to ``max_retries`` times before
-surfacing :class:`ServiceUnavailable` — so a load generator naturally
-paces itself to the daemon's admission queue.
+retry loop that knows the daemon's three transient states:
+
+* **429** (admission queue full) sleeps for the server's
+  ``Retry-After`` hint — the daemon knows its own backlog better than
+  any client-side guess;
+* **503** (draining) and **connection errors** (daemon restarting, or
+  not up yet) back off exponentially with jitter — ``backoff_base``
+  doubled per attempt, capped at 2 s, multiplied by a random factor in
+  [0.5, 1.0) so a fleet of pollers doesn't reconnect in lockstep;
+* everything stops at ``max_retries`` attempts *or* ``max_elapsed``
+  seconds, whichever comes first — then the last connection error
+  re-raises as-is (callers already handle ``OSError``) and 429/503
+  surface as :class:`ServiceUnavailable`.
+
+This is what lets a job poller ride out a SIGTERM → restart cycle of
+the daemon instead of failing its first poll into the gap.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 
 from repro.service.protocol import JudgeRequest, ValidateOptions, ValidateRequest
@@ -39,11 +52,15 @@ class ServiceClient:
         port: int = 8347,
         timeout: float = 60.0,
         max_retries: int = 3,
+        backoff_base: float = 0.05,
+        max_elapsed: float = 15.0,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.max_elapsed = max_elapsed
 
     # ------------------------------------------------------------------
 
@@ -88,15 +105,72 @@ class ServiceClient:
         )
         return self._request("POST", "/v1/judge", request.to_dict())
 
+    # -- durable jobs --------------------------------------------------
+
+    def submit_job(self, kind: str, spec: dict) -> dict:
+        """Submit a campaign/experiment job; returns its journal record."""
+        return self._request("POST", "/v1/jobs", {"kind": kind, "spec": spec})
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job_artifacts(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/artifacts")
+
+    def wait_for_job(self, job_id: str, timeout: float = 600.0,
+                     poll: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal state (done/failed).
+
+        ``checkpointed`` is *not* terminal — it means the daemon
+        stopped (or is restarting) with the job resumable, so the wait
+        keeps polling; the connection-error retry in :meth:`_request`
+        rides out the restart gap itself.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('state')!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
     # ------------------------------------------------------------------
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         attempts = 0
+        started = time.monotonic()
+
+        def may_retry() -> bool:
+            return (
+                attempts < self.max_retries
+                and time.monotonic() - started < self.max_elapsed
+            )
+
         while True:
-            status, headers, payload = self._roundtrip(method, path, body)
-            if status == 429 and attempts < self.max_retries:
+            try:
+                status, headers, payload = self._roundtrip(method, path, body)
+            except (OSError, http.client.HTTPException):
+                # includes ConnectionError and socket timeouts: the
+                # daemon is down, restarting, or mid-accept — ride it
+                # out, then re-raise the last failure unchanged
+                if not may_retry():
+                    raise
+                attempts += 1
+                time.sleep(self._backoff(attempts))
+                continue
+            if status == 429 and may_retry():
                 attempts += 1
                 time.sleep(_retry_after(headers, payload))
+                continue
+            if status == 503 and may_retry():
+                attempts += 1
+                time.sleep(self._backoff(attempts))
                 continue
             if 200 <= status < 300:
                 return payload
@@ -104,6 +178,11 @@ class ServiceClient:
             if status in (429, 503):
                 raise ServiceUnavailable(status, message or "service unavailable", payload)
             raise ServiceError(status, message or "request failed", payload)
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter for attempt N (1-based)."""
+        ceiling = min(2.0, self.backoff_base * (2 ** (attempt - 1)))
+        return ceiling * (0.5 + random.random() / 2)
 
     def _roundtrip(
         self, method: str, path: str, body: dict | None

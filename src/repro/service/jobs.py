@@ -1,0 +1,335 @@
+"""Durable jobs: an on-disk journal plus a background runner.
+
+The daemon's socket endpoints are built for second-scale work; a fuzz
+campaign or a full artifact sweep runs for minutes.  Jobs close that
+gap with a submit/poll contract:
+
+* ``POST /v1/jobs`` validates the spec and appends a :class:`JobRecord`
+  to the journal — one ``<jobs_dir>/<id>/job.json`` per job, every
+  update written atomically.
+* a single worker thread executes jobs in submission order, writing
+  the underlying campaign/experiment durability checkpoints into
+  ``<jobs_dir>/<id>/work``.
+* ``GET /v1/jobs/<id>`` reads the state machine:
+  ``queued → running → (checkpointed ↔ running) → done | failed``.
+
+Because every observable fact lives in the journal and the work dir,
+the daemon process is disposable: on restart the manager re-reads the
+journal, flips interrupted ``running`` jobs to ``checkpointed`` (work
+exists to resume) or back to ``queued`` (nothing landed yet), and
+re-enqueues both.  SIGTERM runs "checkpoint then drain" — the manager
+asks the active campaign/experiment to stop at its next round/cell
+boundary (the checkpoint for everything before that boundary is
+already on disk), journals the job as ``checkpointed``, and only then
+lets the HTTP drain proceed.  ``kill -9`` skips the courtesy and still
+loses nothing beyond the boundary — which is exactly what the
+fault-injection tests prove.
+
+Serial on purpose: campaigns already parallelise internally (stage
+pools), experiments shard across processes; a second concurrent job
+would fight the first for the same cores and make completion times
+unpredictable.  Queue depth is visible in ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.atomicio import atomic_write_json
+from repro.service.protocol import JOB_STATES, TERMINAL_JOB_STATES
+
+WORK_DIRNAME = "work"
+JOURNAL_NAME = "job.json"
+
+
+@dataclass
+class JobRecord:
+    """One job's journaled state (the ``GET /v1/jobs/<id>`` body)."""
+
+    id: str
+    kind: str  # 'campaign' | 'experiment'
+    spec: dict
+    state: str = "queued"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    error: str | None = None
+    #: summary of the finished work (digest etc.); None until done
+    result: dict | None = None
+    #: state-machine trail, e.g. ["queued", "running", "checkpointed"]
+    history: list[str] = field(default_factory=lambda: ["queued"])
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "spec": dict(self.spec),
+            "state": self.state,
+            "created_at": round(self.created_at, 3),
+            "updated_at": round(self.updated_at, 3),
+            "error": self.error,
+            "result": self.result,
+            "history": list(self.history),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobRecord":
+        state = data["state"]
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        return cls(
+            id=data["id"],
+            kind=data["kind"],
+            spec=dict(data["spec"]),
+            state=state,
+            created_at=float(data.get("created_at", 0.0)),
+            updated_at=float(data.get("updated_at", 0.0)),
+            error=data.get("error"),
+            result=data.get("result"),
+            history=list(data.get("history", [state])),
+        )
+
+
+class JobManager:
+    """The journal, the queue, and the worker thread behind /v1/jobs."""
+
+    def __init__(self, jobs_dir: str | Path, cache=None):
+        self.jobs_dir = Path(jobs_dir)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._queue: queue.Queue[str] = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._active: str | None = None
+        self._recover()
+
+    # -- paths ----------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def work_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / WORK_DIRNAME
+
+    def _journal_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / JOURNAL_NAME
+
+    # -- journal --------------------------------------------------------
+
+    def _journal(self, record: JobRecord) -> None:
+        record.updated_at = time.time()
+        atomic_write_json(
+            self._journal_path(record.id),
+            record.to_json(),
+            indent=2,
+            sort_keys=True,
+            fault_tag="job-journal",
+        )
+
+    def _transition(self, record: JobRecord, state: str) -> None:
+        with self._lock:
+            record.state = state
+            record.history.append(state)
+            self._journal(record)
+
+    def _recover(self) -> None:
+        """Rebuild queue + records from the journal (daemon restart).
+
+        A ``running`` record means the previous daemon died mid-job:
+        it becomes ``checkpointed`` when its work dir holds resumable
+        state, else goes back to ``queued``.  Both re-enter the queue
+        (in id order, preserving submission order).  Journals that
+        cannot be parsed are skipped — atomic writes mean that takes
+        external damage, and one damaged job must not take down the
+        daemon's whole queue.
+        """
+        for path in sorted(self.jobs_dir.glob("job-*/" + JOURNAL_NAME)):
+            try:
+                record = JobRecord.from_json(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError):
+                continue
+            if record.state == "running":
+                work = self.work_dir(record.id)
+                resumable = any(
+                    (work / name).exists()
+                    for name in ("checkpoint.json", "progress.json")
+                )
+                record.state = "checkpointed" if resumable else "queued"
+                record.history.append(record.state)
+                self._journal(record)
+            self._records[record.id] = record
+            if record.state not in TERMINAL_JOB_STATES:
+                self._queue.put(record.id)
+
+    # -- public API -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run_loop, name="job-runner", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, kind: str, spec: dict) -> JobRecord:
+        now = time.time()
+        with self._lock:
+            indices = [
+                int(job_id.split("-", 1)[1])
+                for job_id in self._records
+                if job_id.split("-", 1)[1].isdigit()
+            ]
+            record = JobRecord(
+                id=f"job-{max(indices, default=0) + 1:04d}",
+                kind=kind,
+                spec=dict(spec),
+                created_at=now,
+                updated_at=now,
+            )
+            self._records[record.id] = record
+            self._journal(record)
+        self._queue.put(record.id)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._records[job_id]  # KeyError -> HTTP 404
+
+    def list(self) -> list[JobRecord]:
+        with self._lock:
+            return [self._records[job_id] for job_id in sorted(self._records)]
+
+    def artifacts(self, job_id: str) -> dict:
+        """What the job has produced so far (always readable — even a
+        running or checkpointed job's partial work dir is listable)."""
+        record = self.get(job_id)
+        work = self.work_dir(job_id)
+        files = []
+        if work.is_dir():
+            for path in sorted(work.rglob("*")):
+                if path.is_file() and not path.name.endswith(".tmp"):
+                    files.append(
+                        {
+                            "path": str(path.relative_to(work)),
+                            "bytes": path.stat().st_size,
+                        }
+                    )
+        return {
+            "id": record.id,
+            "state": record.state,
+            "result": record.result,
+            "dir": str(work),
+            "files": files,
+        }
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = Counter(record.state for record in self._records.values())
+            return {
+                "dir": str(self.jobs_dir),
+                "total": len(self._records),
+                "by_state": {state: counts.get(state, 0) for state in JOB_STATES},
+                "active": self._active,
+            }
+
+    def checkpoint_and_stop(self, timeout: float | None = 60.0) -> bool:
+        """The SIGTERM path: stop at the next checkpoint boundary.
+
+        Sets the stop event the active campaign/experiment polls at its
+        round/cell boundaries, then joins the worker thread — by the
+        time this returns True, the active job (if any) is journaled as
+        ``checkpointed`` and its work dir holds everything needed to
+        resume.  Queued jobs simply stay ``queued`` in the journal.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    # -- worker thread --------------------------------------------------
+
+    def _run_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if self._stop.is_set():
+                # leave the record as journaled (queued/checkpointed);
+                # the restarted daemon's _recover() re-enqueues it
+                return
+            self._execute(job_id)
+
+    def _execute(self, job_id: str) -> None:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.state in TERMINAL_JOB_STATES:
+                return
+            self._active = job_id
+        self._transition(record, "running")
+        try:
+            if record.kind == "campaign":
+                self._run_campaign(record)
+            else:
+                self._run_experiment(record)
+        except InterruptedError:
+            # stopped at a boundary: state through it is checkpointed
+            self._transition(record, "checkpointed")
+        except Exception as exc:  # noqa: BLE001 - journaled, not raised
+            record.error = f"{type(exc).__name__}: {exc}"
+            self._transition(record, "failed")
+        finally:
+            with self._lock:
+                self._active = None
+
+    def _run_campaign(self, record: JobRecord) -> None:
+        from repro.fuzz.campaign import Campaign, CampaignConfig
+        from repro.fuzz.checkpoint import CheckpointError, load_checkpoint
+        from repro.fuzz.manifest import save_campaign
+
+        config = CampaignConfig.from_json(record.spec)
+        work = self.work_dir(record.id)
+        work.mkdir(parents=True, exist_ok=True)
+        try:
+            resume = load_checkpoint(work)
+        except CheckpointError:
+            resume = None  # externally damaged: recompute from scratch
+        campaign = Campaign(config, cache=self.cache)
+        result = campaign.run(
+            checkpoint_dir=str(work), resume=resume, stop=self._stop
+        )
+        if result.interrupted:
+            raise InterruptedError(f"campaign stopped at round {result.stats.rounds}")
+        save_campaign(result, work)
+        record.result = {
+            "digest": result.digest(),
+            "rounds": result.stats.rounds,
+            "corpus": len(result.corpus),
+            "findings": len(result.findings),
+            "triage_flags": len(result.triage_flags),
+        }
+        self._transition(record, "done")
+
+    def _run_experiment(self, record: JobRecord) -> None:
+        from repro.experiments.rundir import ExperimentRunSpec, run_artifacts
+
+        spec = ExperimentRunSpec.from_json(record.spec)
+        outcome = run_artifacts(
+            spec, self.work_dir(record.id), cache=self.cache, stop=self._stop
+        )
+        record.result = {
+            "digest": outcome.digest,
+            "artifacts": list(outcome.texts),
+            "reused_cells": outcome.reused_cells,
+            "computed_cells": outcome.computed_cells,
+        }
+        self._transition(record, "done")

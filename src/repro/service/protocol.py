@@ -212,6 +212,83 @@ class JudgeRequest:
 
 
 # ----------------------------------------------------------------------
+# durable jobs (POST /v1/jobs)
+# ----------------------------------------------------------------------
+
+JOB_KINDS = ("campaign", "experiment")
+JOB_STATES = ("queued", "running", "checkpointed", "done", "failed")
+
+#: states a job never leaves
+TERMINAL_JOB_STATES = ("done", "failed")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """``POST /v1/jobs``: a campaign or experiment to run durably.
+
+    The wire shape is ``{"kind": "campaign"|"experiment", "spec":
+    {...}}`` where ``spec`` is, respectively, a
+    :class:`~repro.fuzz.campaign.CampaignConfig` JSON or a
+    :class:`~repro.experiments.rundir.ExperimentRunSpec` JSON.  Both
+    are validated *at submission*, so a bad spec is an HTTP 400 at
+    POST time — never a job that sits queued and then fails.
+    """
+
+    kind: str
+    spec: tuple  # canonicalised (key, value) pairs; dict via spec_dict()
+
+    def spec_dict(self) -> dict:
+        return dict(self.spec)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "spec": self.spec_dict()}
+
+    @classmethod
+    def from_dict(cls, data: object) -> "JobSpec":
+        _require(isinstance(data, dict), f"request body must be a JSON object, got {type(data).__name__}")
+        kind = data.get("kind")
+        _require(
+            isinstance(kind, str) and kind in JOB_KINDS,
+            f"'kind' must be one of {list(JOB_KINDS)}, got {kind!r}",
+        )
+        spec = data.get("spec", {})
+        _require(isinstance(spec, dict), f"'spec' must be an object, got {type(spec).__name__}")
+        # deep-validate by constructing the real config objects (lazy
+        # imports: the protocol module must stay importable without the
+        # fuzz/experiment stacks)
+        if kind == "campaign":
+            from repro.fuzz.campaign import CampaignConfig
+
+            try:
+                CampaignConfig.from_json(spec)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid campaign spec: {exc}") from exc
+        else:
+            from repro.experiments.rundir import ExperimentRunSpec
+
+            try:
+                parsed = ExperimentRunSpec.from_json(spec)
+                from repro.experiments.config import ExperimentConfig
+
+                ExperimentConfig(
+                    scale=parsed.scale,
+                    seed=parsed.seed,
+                    execution_backend=parsed.backend,
+                    jobs=parsed.jobs,
+                )
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid experiment spec: {exc}") from exc
+            from repro.experiments.sharding import ARTIFACT_CELLS
+
+            for name in parsed.artifacts:
+                _require(
+                    name in ARTIFACT_CELLS,
+                    f"unknown artifact {name!r} (choose from {sorted(ARTIFACT_CELLS)})",
+                )
+        return cls(kind=kind, spec=tuple(sorted(spec.items(), key=lambda kv: kv[0])))
+
+
+# ----------------------------------------------------------------------
 # verdict encoding (JudgedFile <-> JSON)
 # ----------------------------------------------------------------------
 

@@ -13,7 +13,12 @@ Endpoints
 ---------
 * ``POST /v1/validate``  — batched full-pipeline validation;
 * ``POST /v1/judge``     — one synchronous judge-only call;
-* ``GET  /healthz``      — liveness + drain state;
+* ``POST /v1/jobs``      — submit a durable campaign/experiment job
+  (requires ``--jobs-dir``; see :mod:`repro.service.jobs`);
+* ``GET  /v1/jobs``      — list journaled jobs;
+* ``GET  /v1/jobs/<id>`` — one job's state machine record;
+* ``GET  /v1/jobs/<id>/artifacts`` — what the job has produced;
+* ``GET  /healthz``      — liveness + drain state (+ job counts);
 * ``GET  /v1/stats``     — live batching/pipeline/cache counters;
 * ``GET  /v1/fuzz/stats`` — lifetime fuzzing-campaign counters for this
   process (campaigns, executions, discrepancies, acceptance).
@@ -21,8 +26,10 @@ Endpoints
 Load shedding is explicit: a full admission queue answers HTTP 429
 with a ``Retry-After`` header; a draining daemon answers 503.  SIGTERM
 handling lives in the CLI (``llm4vv serve``), which calls
-:meth:`ValidationServer.drain_and_shutdown` — queued requests finish,
-the cache flushes to disk, then the listener stops.
+:meth:`ValidationServer.drain_and_shutdown` — now *checkpoint then
+drain*: the active job checkpoints at its next round/cell boundary and
+is journaled, queued requests finish, the cache flushes to disk, then
+the listener stops.  Jobs survive the restart through the journal.
 """
 
 from __future__ import annotations
@@ -43,12 +50,14 @@ from repro.llm.model import DeepSeekCoderSim
 from repro.pipeline.stats import PipelineStats
 from repro.service.batching import BatcherClosed, BatchQueueFull, MicroBatcher
 from repro.service.protocol import (
+    JobSpec,
     JudgeRequest,
     ProtocolError,
     ValidateRequest,
     encode_verdict,
     error_body,
 )
+from repro.testing.faultinject import fault_point
 
 
 @dataclass
@@ -72,8 +81,17 @@ class ValidationService:
         max_latency: float = 0.02,
         queue_capacity: int = 64,
         retry_after: float = 1.0,
+        jobs_dir: str | None = None,
     ):
         self.cache = cache
+        self.jobs = None
+        if jobs_dir is not None:
+            # lazy import: a daemon without --jobs-dir never loads the
+            # fuzz/experiment stacks
+            from repro.service.jobs import JobManager
+
+            self.jobs = JobManager(jobs_dir, cache=cache)
+            self.jobs.start()
         self.model_seed = model_seed
         self.model = DeepSeekCoderSim(seed=model_seed)
         self.workers = workers
@@ -150,11 +168,14 @@ class ValidationService:
     # ------------------------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        body = {
             "status": "draining" if self.batcher.closed else "ok",
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "queue_depth": self.batcher.depth,
         }
+        if self.jobs is not None:
+            body["jobs"] = self.jobs.snapshot()
+        return body
 
     def fuzz_stats(self) -> dict:
         """Lifetime fuzz-campaign counters (``GET /v1/fuzz/stats``).
@@ -192,6 +213,7 @@ class ValidationService:
             },
             "pipeline": self.pipeline_stats.snapshot(),
             "cache": self.cache.summary() if self.cache is not None else None,
+            "jobs": self.jobs.snapshot() if self.jobs is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -199,7 +221,18 @@ class ValidationService:
     # ------------------------------------------------------------------
 
     def drain(self, timeout: float | None = 30.0) -> bool:
-        """Graceful wind-down: finish queued work, flush the cache."""
+        """Graceful wind-down: *checkpoint*, then drain, then flush.
+
+        Order matters: the active job checkpoints and journals first
+        (its state must survive even if the process dies later in the
+        drain), then queued HTTP requests finish, then the cache
+        flushes.  The ``drain:mid`` fault point sits between the two
+        halves — a SIGKILL there must still leave a resumable journal,
+        which is exactly what the crash-recovery tests inject.
+        """
+        if self.jobs is not None:
+            self.jobs.checkpoint_and_stop(timeout=timeout)
+        fault_point("drain:mid")
         parked = self.batcher.close(drain=True, timeout=timeout)
         if self.cache is not None:
             self.cache.save()
@@ -385,6 +418,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, self._service.stats_snapshot())
             elif self.path == "/v1/fuzz/stats":
                 self._send(200, self._service.fuzz_stats())
+            elif self.path == "/v1/jobs":
+                jobs = self._require_jobs()
+                if jobs is not None:
+                    self._send(200, {"jobs": [r.to_json() for r in jobs.list()]})
+            elif self.path.startswith("/v1/jobs/"):
+                self._get_job(self.path[len("/v1/jobs/"):])
             else:
                 self._send(404, error_body(f"unknown path {self.path!r}"))
         except ConnectionError:
@@ -398,6 +437,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_validate()
             elif self.path == "/v1/judge":
                 self._post_judge()
+            elif self.path == "/v1/jobs":
+                self._post_job()
             else:
                 self._send(404, error_body(f"unknown path {self.path!r}"))
         except ProtocolError as exc:
@@ -438,3 +479,46 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_judge(self) -> None:
         request = JudgeRequest.from_dict(self._read_json())
         self._send(200, self._service.judge(request))
+
+    # -- jobs ----------------------------------------------------------
+
+    def _require_jobs(self):
+        """The job manager, or answer 503 and return None.
+
+        503 (not 404): the route exists, this daemon instance just was
+        not started with a journal directory — a deployment state, not
+        a client error.
+        """
+        jobs = self._service.jobs
+        if jobs is None:
+            self._send(
+                503,
+                error_body("jobs API disabled; start the daemon with --jobs-dir"),
+            )
+        return jobs
+
+    def _get_job(self, rest: str) -> None:
+        jobs = self._require_jobs()
+        if jobs is None:
+            return
+        job_id, _, tail = rest.partition("/")
+        try:
+            if tail == "":
+                self._send(200, jobs.get(job_id).to_json())
+            elif tail == "artifacts":
+                self._send(200, jobs.artifacts(job_id))
+            else:
+                self._send(404, error_body(f"unknown path {self.path!r}"))
+        except KeyError:
+            self._send(404, error_body(f"unknown job {job_id!r}"))
+
+    def _post_job(self) -> None:
+        jobs = self._require_jobs()
+        if jobs is None:
+            return
+        if self._service.batcher.closed:
+            self._send(503, error_body("service is draining; not accepting work"))
+            return
+        spec = JobSpec.from_dict(self._read_json())
+        record = jobs.submit(spec.kind, spec.spec_dict())
+        self._send(200, record.to_json())

@@ -1,0 +1,11 @@
+"""Test-support machinery that ships with the package.
+
+The fault-injection harness lives here (rather than under ``tests/``)
+because the *production* code paths carry the instrumentation points —
+crash-recovery is only credible when the kill happens inside the real
+write path, not a test double.
+"""
+
+from repro.testing.faultinject import FaultError, clear, fault_point, install
+
+__all__ = ["FaultError", "clear", "fault_point", "install"]

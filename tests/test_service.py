@@ -547,6 +547,82 @@ class TestHTTPService:
             thread.join(10.0)
 
 
+class TestClientRetry:
+    """The retry loop itself, with ``_roundtrip`` stubbed out — no
+    sockets, so each case pins down exactly how many attempts and
+    sleeps a failure mode costs."""
+
+    @staticmethod
+    def _patched(monkeypatch, client, outcomes):
+        """Feed ``outcomes`` (exception instances or (status, headers,
+        payload) tuples) to successive attempts; record sleeps."""
+        attempts = []
+        sleeps = []
+
+        def roundtrip(method, path, body):
+            attempts.append(path)
+            outcome = outcomes[min(len(attempts), len(outcomes)) - 1]
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_roundtrip", roundtrip)
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        return attempts, sleeps
+
+    def test_connection_errors_backoff_then_reraise(self, monkeypatch):
+        client = ServiceClient(max_retries=3, backoff_base=0.01)
+        attempts, sleeps = self._patched(
+            monkeypatch, client, [ConnectionRefusedError("daemon down")]
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+        assert len(attempts) == 4  # initial try + max_retries
+        assert len(sleeps) == 3
+        assert all(s > 0 for s in sleeps)
+
+    def test_503_retries_until_the_daemon_returns(self, monkeypatch):
+        client = ServiceClient(max_retries=3, backoff_base=0.01)
+        attempts, sleeps = self._patched(
+            monkeypatch, client,
+            [
+                (503, {}, {"error": "draining"}),
+                ConnectionResetError("restarting"),
+                (200, {}, {"status": "ok"}),
+            ],
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert len(attempts) == 3
+        assert len(sleeps) == 2
+
+    def test_429_sleeps_for_the_server_hint(self, monkeypatch):
+        client = ServiceClient(max_retries=2)
+        attempts, sleeps = self._patched(
+            monkeypatch, client,
+            [(429, {"Retry-After": "0.07"}, {}), (200, {}, {})],
+        )
+        client.healthz()
+        assert sleeps == [0.07]
+
+    def test_max_elapsed_caps_the_retry_budget(self, monkeypatch):
+        client = ServiceClient(max_retries=50, max_elapsed=0.0)
+        attempts, _ = self._patched(
+            monkeypatch, client, [ConnectionRefusedError("down")]
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+        assert len(attempts) == 1  # budget exhausted before any retry
+
+    def test_backoff_is_jittered_and_capped(self):
+        client = ServiceClient(backoff_base=0.05)
+        first = [client._backoff(1) for _ in range(50)]
+        assert all(0.025 <= s < 0.05 for s in first)
+        assert len(set(first)) > 1, "no jitter"
+        assert all(client._backoff(20) <= 2.0 for _ in range(10))
+
+
 class TestGetErrorHandling:
     def test_stats_failure_answers_500_not_dropped_socket(self, service_server, monkeypatch):
         """do_GET must mirror do_POST's catch-all: an exception inside a
