@@ -37,7 +37,7 @@ SERVER_KNOBS = dict(
     max_batch_size=8,
     max_latency=0.01,
     queue_capacity=128,
-    workers=2,
+    threads=2,
     judge_workers=2,
 )
 

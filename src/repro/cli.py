@@ -191,8 +191,13 @@ def _main(argv: list[str] | None = None) -> int:
         help="admission queue bound; beyond it requests get HTTP 429",
     )
     p_serve.add_argument(
-        "--workers", type=positive_int, default=2,
-        help="compile/execute worker threads per pipeline",
+        "--workers", type=int, default=0, metavar="N",
+        help="pre-forked validation worker processes; micro-batches fan "
+             "out across them (0 = validate in-process, the default)",
+    )
+    p_serve.add_argument(
+        "--threads", type=positive_int, default=2,
+        help="compile/execute worker threads per pipeline (per process)",
     )
     p_serve.add_argument(
         "--judge-workers", type=positive_int, default=1,
@@ -622,6 +627,7 @@ def _bind_server(args: argparse.Namespace, cache):
         quiet=not args.verbose,
         model_seed=args.model_seed,
         workers=args.workers,
+        threads=args.threads,
         judge_workers=args.judge_workers,
         max_batch_size=args.max_batch,
         max_latency=args.max_latency_ms / 1000.0,
@@ -641,10 +647,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     endpoints = "POST /v1/validate, GET /v1/stats"
     if args.jobs_dir:
         endpoints += f", POST /v1/jobs (journal: {args.jobs_dir})"
+    pool = f", workers={args.workers}" if args.workers else ""
     print(
         f"serving on http://{host}:{port} "
         f"(batch<={args.max_batch}, latency<={args.max_latency_ms:g}ms, "
-        f"queue<={args.queue_capacity}) — {endpoints}",
+        f"queue<={args.queue_capacity}{pool}) — {endpoints}",
         flush=True,
     )
     try:

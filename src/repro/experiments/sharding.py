@@ -309,7 +309,7 @@ def run_cells(
         range(len(cells)), key=lambda i: estimated_cost(config, cells[i]), reverse=True
     )
     ctx = multiprocessing.get_context(start_method or default_start_method())
-    with _package_root_on_pythonpath():
+    with package_root_on_pythonpath():
         with ctx.Pool(processes=min(jobs, len(cells))) as pool:
             pending = {
                 i: pool.apply_async(run_cell, (config, cells[i], cache_dir))
@@ -329,14 +329,16 @@ def run_cells(
 
 
 @contextlib.contextmanager
-def _package_root_on_pythonpath():
+def package_root_on_pythonpath():
     """Expose repro's root via PYTHONPATH while workers are spawned.
 
     Spawned children re-import repro, which fails if the parent found
     the package through sys.path manipulation only.  The mutation is
     scoped to pool creation and undone afterwards, so unrelated
     subprocesses launched later by an embedding application don't
-    inherit it.
+    inherit it.  Public because every process-pool layer needs it — the
+    experiment sharder here and the service's validation
+    :class:`~repro.service.workers.WorkerPool`.
     """
     src_root = str(Path(__file__).resolve().parents[2])
     before = os.environ.get("PYTHONPATH")

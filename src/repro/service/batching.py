@@ -67,15 +67,27 @@ class MicroBatcher:
     runner:
         ``runner(key, payloads) -> results`` with exactly one result
         per payload, in order.  An exception fails every future in the
-        batch.  Runs on the collector thread: batches execute one at a
-        time (parallelism lives *inside* a batch, in the pipeline's
-        worker pools — the single-GPU serving model).
+        batch.  With ``dispatch_workers=1`` (the default) it runs on
+        the collector thread: batches execute one at a time
+        (parallelism lives *inside* a batch, in the pipeline's worker
+        pools — the single-GPU serving model).
     max_batch_size / max_latency:
         The two cutoff knobs described above.
     capacity:
         Bound of the admission queue (the 429 threshold).
     retry_after:
         Advisory client backoff carried by :class:`BatchQueueFull`.
+    dispatch_workers:
+        How many batches may be *in flight* at once.  1 keeps the
+        historical inline path.  Above 1, formed batches go to a
+        bounded hand-off queue drained by this many dispatcher threads
+        — the shape the service uses over a process
+        :class:`~repro.service.workers.WorkerPool`, where each
+        dispatcher blocks on pipe I/O while a worker process does the
+        actual validation.  The hand-off queue is bounded at the
+        dispatcher count, so when every worker is busy the collector
+        blocks, the admission queue fills, and the 429 backpressure
+        contract survives unchanged.
     """
 
     def __init__(
@@ -85,6 +97,7 @@ class MicroBatcher:
         max_latency: float = 0.02,
         capacity: int = 64,
         retry_after: float = 1.0,
+        dispatch_workers: int = 1,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -92,7 +105,10 @@ class MicroBatcher:
             raise ValueError(f"max_latency must be >= 0, got {max_latency}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if dispatch_workers < 1:
+            raise ValueError(f"dispatch_workers must be >= 1, got {dispatch_workers}")
         self.runner = runner
+        self.dispatch_workers = dispatch_workers
         self.max_batch_size = max_batch_size
         self.max_latency = max_latency
         self.capacity = capacity
@@ -117,6 +133,21 @@ class MicroBatcher:
             "key_cutoffs": 0,
             "largest_batch": 0,
         }
+        # dispatch_workers > 1: formed batches hand off through a small
+        # bounded queue to dispatcher threads, so several batches can be
+        # in flight (each typically parked on a worker-process pipe)
+        self._dispatch_queue: queue.Queue | None = None
+        self._dispatchers: list[threading.Thread] = []
+        if dispatch_workers > 1:
+            self._dispatch_queue = queue.Queue(maxsize=dispatch_workers)
+            for i in range(dispatch_workers):
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"microbatch-dispatch-{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._dispatchers.append(thread)
         self._collector = threading.Thread(
             target=self._collect, name="microbatch-collector", daemon=True
         )
@@ -158,6 +189,7 @@ class MicroBatcher:
         counters["queue_depth"] = self.depth
         counters["queue_capacity"] = self.capacity
         counters["max_batch_size"] = self.max_batch_size
+        counters["dispatch_workers"] = self.dispatch_workers
         counters["draining"] = self._closed.is_set()
         return counters
 
@@ -244,6 +276,13 @@ class MicroBatcher:
             for item in leftovers:
                 item.future.set_exception(BatcherClosed("batcher closed before dispatch"))
                 self._bump("failed")
+        # park the dispatchers after their queue is empty: every formed
+        # batch (drain or not) already owns its futures and must finish
+        if self._dispatch_queue is not None:
+            for _ in self._dispatchers:
+                self._dispatch_queue.put(None)
+            for thread in self._dispatchers:
+                thread.join()
         self._drained.set()
 
     def _dispatch(self, key: Any, batch: list[_Pending]) -> None:
@@ -252,6 +291,21 @@ class MicroBatcher:
             self._counters["largest_batch"] = max(
                 self._counters["largest_batch"], len(batch)
             )
+        if self._dispatch_queue is None:
+            self._execute(key, batch)
+        else:
+            # blocks when every dispatcher is busy — intentional: the
+            # admission queue then fills and submit() starts raising 429s
+            self._dispatch_queue.put((key, batch))
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._dispatch_queue.get()
+            if item is None:
+                return
+            self._execute(*item)
+
+    def _execute(self, key: Any, batch: list[_Pending]) -> None:
         try:
             results = self.runner(key, [item.payload for item in batch])
             if len(results) != len(batch):

@@ -10,7 +10,11 @@ retry loop that knows the daemon's three transient states:
 * **503** (draining) and **connection errors** (daemon restarting, or
   not up yet) back off exponentially with jitter — ``backoff_base``
   doubled per attempt, capped at 2 s, multiplied by a random factor in
-  [0.5, 1.0) so a fleet of pollers doesn't reconnect in lockstep;
+  [0.5, 1.0) so a fleet of pollers doesn't reconnect in lockstep.
+  The jitter comes from the client's *own* ``random.Random`` instance
+  (seedable via ``backoff_seed``), never the process-global generator:
+  retry timing stays deterministic in tests (including forked
+  test processes) and a client can't perturb application-level seeding;
 * everything stops at ``max_retries`` attempts *or* ``max_elapsed``
   seconds, whichever comes first — then the last connection error
   re-raises as-is (callers already handle ``OSError``) and 429/503
@@ -54,6 +58,7 @@ class ServiceClient:
         max_retries: int = 3,
         backoff_base: float = 0.05,
         max_elapsed: float = 15.0,
+        backoff_seed: int | None = None,
     ):
         self.host = host
         self.port = port
@@ -61,6 +66,10 @@ class ServiceClient:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.max_elapsed = max_elapsed
+        # a private RNG: `random.Random(None)` still self-seeds from the
+        # OS, so production jitter stays independent across processes,
+        # while an explicit seed makes the backoff sequence replayable
+        self._backoff_rng = random.Random(backoff_seed)
 
     # ------------------------------------------------------------------
 
@@ -182,7 +191,7 @@ class ServiceClient:
     def _backoff(self, attempt: int) -> float:
         """Exponential backoff with jitter for attempt N (1-based)."""
         ceiling = min(2.0, self.backoff_base * (2 ** (attempt - 1)))
-        return ceiling * (0.5 + random.random() / 2)
+        return ceiling * (0.5 + self._backoff_rng.random() / 2)
 
     def _roundtrip(
         self, method: str, path: str, body: dict | None

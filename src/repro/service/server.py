@@ -3,8 +3,10 @@
 :class:`ValidationService` owns the domain side — one
 :class:`TestsuiteValidator` per distinct option set (all sharing one
 simulated model and one :class:`PipelineCache`), the micro-batcher
-that admission-controls ``/v1/validate``, and the lifetime aggregates
-``/v1/stats`` exposes.  :class:`ValidationServer` is a thin
+that admission-controls ``/v1/validate``, optionally a pre-forked
+:class:`~repro.service.workers.WorkerPool` that batches fan out to
+(``workers=N``; ``workers=0`` validates in-process), and the lifetime
+aggregates ``/v1/stats`` exposes.  :class:`ValidationServer` is a thin
 ``ThreadingHTTPServer``: each connection gets a handler thread that
 parses JSON, submits to the service and blocks on its future, so
 concurrency is bounded by the admission queue, not by socket count.
@@ -54,7 +56,6 @@ from repro.service.protocol import (
     JudgeRequest,
     ProtocolError,
     ValidateRequest,
-    encode_verdict,
     error_body,
 )
 from repro.testing.faultinject import fault_point
@@ -75,13 +76,15 @@ class ValidationService:
         self,
         cache=None,
         model_seed: int = 20240822,
-        workers: int = 2,
+        threads: int = 2,
         judge_workers: int = 1,
         max_batch_size: int = 8,
         max_latency: float = 0.02,
         queue_capacity: int = 64,
         retry_after: float = 1.0,
         jobs_dir: str | None = None,
+        workers: int = 0,
+        worker_start_method: str | None = None,
     ):
         self.cache = cache
         self.jobs = None
@@ -94,21 +97,47 @@ class ValidationService:
             self.jobs.start()
         self.model_seed = model_seed
         self.model = DeepSeekCoderSim(seed=model_seed)
-        self.workers = workers
+        self.threads = threads
         self.judge_workers = judge_workers
         self.started_at = time.monotonic()
         #: lifetime aggregate over every batch's pipeline run
         self.pipeline_stats = PipelineStats()
+        self._stats_lock = threading.Lock()
         self._validators: dict[object, TestsuiteValidator] = {}
         self._validators_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._counters = {"validate_requests": 0, "judge_requests": 0}
+        # workers >= 1: pre-fork a process pool and size the batcher's
+        # dispatcher threads to it, so up to ``workers`` micro-batches
+        # validate in parallel across cores.  workers == 0 keeps the
+        # in-process path — the executable spec the pool must match
+        # byte for byte.
+        self.pool = None
+        if workers >= 1:
+            from repro.service.workers import WorkerConfig, WorkerPool
+
+            self.pool = WorkerPool(
+                workers,
+                WorkerConfig(
+                    model_seed=model_seed,
+                    threads=threads,
+                    judge_workers=judge_workers,
+                    cache_dir=(
+                        None
+                        if cache is None or cache.cache_dir is None
+                        else str(cache.cache_dir)
+                    ),
+                    use_cache=cache is not None,
+                ),
+                start_method=worker_start_method,
+            )
         self.batcher = MicroBatcher(
             self._run_batch,
             max_batch_size=max_batch_size,
             max_latency=max_latency,
             capacity=queue_capacity,
             retry_after=retry_after,
+            dispatch_workers=workers if workers >= 1 else 1,
         )
 
     # ------------------------------------------------------------------
@@ -202,6 +231,16 @@ class ValidationService:
                 "model_seed": self.model_seed,
                 **counters,
                 "batching": self.batcher.snapshot(),
+                "workers": (
+                    self.pool.snapshot()
+                    if self.pool is not None
+                    else {
+                        "configured": 0,
+                        "alive": 0,
+                        "restarts": 0,
+                        "batches_dispatched": 0,
+                    }
+                ),
                 # which backend produced served verdicts: the execute
                 # cache is backend-agnostic by design, so operators
                 # read this (not cache keys) to attribute a run
@@ -234,12 +273,17 @@ class ValidationService:
             self.jobs.checkpoint_and_stop(timeout=timeout)
         fault_point("drain:mid")
         parked = self.batcher.close(drain=True, timeout=timeout)
+        # the batcher has drained: no batch is in flight, so the pool's
+        # polite stop runs clean (each worker flushes its cache into the
+        # shared dir before exiting, ahead of the parent's own flush)
+        if self.pool is not None:
+            self.pool.close(timeout=timeout)
         if self.cache is not None:
             self.cache.save()
         return parked
 
     # ------------------------------------------------------------------
-    # batch execution (collector thread only)
+    # batch execution (collector / dispatcher threads)
     # ------------------------------------------------------------------
 
     def _bump(self, counter: str) -> None:
@@ -254,7 +298,7 @@ class ValidationService:
                     flavor=options.flavor,
                     judge_kind=options.judge,
                     early_exit=options.early_exit,
-                    workers=self.workers,
+                    workers=self.threads,
                     judge_workers=self.judge_workers,
                     model=self.model,
                     cache=self.cache,
@@ -266,67 +310,38 @@ class ValidationService:
     def _run_batch(self, options, payloads: list[_Admitted]) -> list[dict]:
         """One micro-batch -> one (or few) shared pipeline runs.
 
-        All payloads share ``options`` (the batcher groups by it), so
-        their files fan through one validator — one StageScheduler run,
-        shared worker pools, shared cache.  The only reason to split a
-        batch is a file-name collision between requests: names must be
-        unique within a pipeline run, so colliding requests go to a
-        follow-up chunk (correctness over batching efficiency).
+        The batch-execution logic itself lives in
+        :func:`repro.service.workers.execute_batch` — this method only
+        decides *where* it runs (a pool worker process, or in-process
+        when ``workers=0``), then merges the result back: the batch's
+        pipeline stats into the lifetime aggregate, worker cache
+        counters into the parent's summary, and the queue-delay stamp
+        (which only the parent knows) into each response.
         """
-        validator = self._validator_for(options)
-        batch_size = len(payloads)
-        responses: list[dict | None] = [None] * batch_size
+        from repro.service.workers import execute_batch
 
-        chunk: list[int] = []
-        names: set[str] = set()
-
-        def flush() -> None:
-            if not chunk:
-                return
-            sources: dict[str, str] = {}
-            for index in chunk:
-                sources.update(dict(payloads[index].request.files))
-            dispatched_at = time.monotonic()
-            t0 = time.perf_counter()
-            report = validator.validate_sources(sources)
-            wall_ms = round((time.perf_counter() - t0) * 1000, 3)
-            # batches run one after another: walls sum in the aggregate
-            self.pipeline_stats.merge(report.stats, concurrent=False)
-            stage_snapshot = report.stats.snapshot()["stages"]
-            for index in chunk:
-                payload = payloads[index]
-                verdicts = [
-                    encode_verdict(report.verdict_for(name))
-                    for name, _ in payload.request.files
-                ]
-                valid = sum(1 for v in verdicts if v["verdict"] == "valid")
-                responses[index] = {
-                    "verdicts": verdicts,
-                    "summary": {
-                        "total": len(verdicts),
-                        "valid": valid,
-                        "invalid": len(verdicts) - valid,
-                    },
-                    "timings": {
-                        "queued_ms": round(
-                            (dispatched_at - payload.enqueued_at) * 1000, 3
-                        ),
-                        "wall_ms": wall_ms,
-                        "stages": stage_snapshot,
-                    },
-                    "batch": {"size": batch_size, "chunk": len(chunk)},
-                }
-            chunk.clear()
-            names.clear()
-
-        for i, payload in enumerate(payloads):
-            request_names = {name for name, _ in payload.request.files}
-            if names & request_names:
-                flush()
-            chunk.append(i)
-            names.update(request_names)
-        flush()
-        return responses  # type: ignore[return-value]
+        requests = [payload.request.files for payload in payloads]
+        dispatched_at = time.monotonic()
+        if self.pool is not None:
+            result = self.pool.run_batch(options, requests)
+        else:
+            result = execute_batch(self._validator_for, options, requests)
+        # several dispatcher threads can land here at once; walls still
+        # sum (concurrent=False) so the aggregate reads as total
+        # validation compute, matching the single-process meaning
+        with self._stats_lock:
+            self.pipeline_stats.merge(result.stats, concurrent=False)
+            if result.cache_delta and self.cache is not None:
+                for namespace in self.cache.namespaces:
+                    delta = result.cache_delta.get(namespace.name)
+                    if delta:
+                        namespace.hits += delta["hits"]
+                        namespace.misses += delta["misses"]
+        for payload, response in zip(payloads, result.responses):
+            response["timings"]["queued_ms"] = round(
+                (dispatched_at - payload.enqueued_at) * 1000, 3
+            )
+        return result.responses
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,15 @@ Instrumented points in this repo (grep ``fault_point(`` for the list):
   has been renamed into the run directory.
 - ``drain:mid`` — in the daemon's SIGTERM path, after jobs have
   checkpointed but before the batcher drains and the cache flushes.
+- ``worker:post-fork`` — first thing a pre-forked validation worker
+  does after re-arming faults from the environment, before building
+  its model/cache/validators.  ``kill`` here exercises the pool's
+  boot-crash respawn path.
+- ``worker:pre-result`` — in a validation worker, after a batch has
+  executed but before its result is sent back to the parent.  ``kill``
+  here is the canonical "worker died mid-batch" scenario: the parent
+  must detect the death, respawn, retry once, and still return
+  byte-identical verdicts.
 
 Stdlib-only on purpose: everything else in the package may import this
 module without creating a cycle.
@@ -127,6 +136,21 @@ def clear() -> None:
     global _points
     with _lock:
         _points = {}
+
+
+def reset() -> None:
+    """Forget the parsed state so the *environment* is re-read lazily.
+
+    Forked children inherit the parent's already-parsed (and possibly
+    test-cleared) ``_points`` dict, which would shadow whatever
+    ``REPRO_FAULT_POINTS`` says and make worker-side faults silently
+    start-method-dependent.  Worker entrypoints call this first so a
+    spec like ``worker:pre-result@2=kill`` arms identically under fork
+    and spawn — with fresh per-process hit counters either way.
+    """
+    global _points
+    with _lock:
+        _points = None
 
 
 def fault_point(name: str) -> None:

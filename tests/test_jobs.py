@@ -314,7 +314,9 @@ class TestJobsHTTP:
 # ----------------------------------------------------------------------
 
 
-def _spawn_daemon(jobs_dir: Path, fault: str | None = None) -> tuple:
+def _spawn_daemon(
+    jobs_dir: Path, fault: str | None = None, extra: tuple[str, ...] = ()
+) -> tuple:
     env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
     env.pop(faultinject.ENV_VAR, None)
     if fault is not None:
@@ -323,6 +325,7 @@ def _spawn_daemon(jobs_dir: Path, fault: str | None = None) -> tuple:
         [
             sys.executable, "-m", "repro.cli", "serve", "--port", "0",
             "--jobs-dir", str(jobs_dir), "--max-latency-ms", "5", "--no-cache",
+            *extra,
         ],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
     )
@@ -388,6 +391,88 @@ def test_sigterm_checkpoints_then_restart_completes(
         assert finished["state"] == "done", finished.get("error")
         assert finished["result"]["digest"] == slow_digest
         assert "checkpointed" in finished["history"]
+        proc2.send_signal(signal.SIGTERM)
+        assert proc2.wait(timeout=60) == 0
+    finally:
+        _finish(proc2)
+
+
+# ----------------------------------------------------------------------
+# worker-pool faults against a real daemon
+# ----------------------------------------------------------------------
+
+
+def test_worker_killed_mid_batch_client_gets_control_verdicts(
+    tmp_path, valid_acc_source
+):
+    """The acceptance scenario end to end: a pre-forked worker is
+    SIGKILLed between executing a batch and reporting it.  The client
+    must still get a 200 whose verdicts match the in-process executable
+    spec (``workers=0``), and ``/v1/stats`` must count the restart."""
+    from repro.service.protocol import ValidateRequest
+    from repro.service.server import ValidationService
+
+    # control digest from the single-process spec, no HTTP involved
+    control_service = ValidationService(workers=0)
+    try:
+        control = []
+        for name in ("a.c", "b.c"):
+            response = control_service.submit(
+                ValidateRequest(files=((name, valid_acc_source),))
+            ).result(timeout=60.0)
+            control.append(response["verdicts"])
+    finally:
+        control_service.drain(timeout=30.0)
+
+    proc, port = _spawn_daemon(
+        tmp_path / "jobs",
+        fault="worker:pre-result@2=kill",
+        extra=("--workers", "1"),
+    )
+    try:
+        client = ServiceClient(port=port, timeout=60)
+        served = []
+        for name in ("a.c", "b.c"):
+            # the second batch dies mid-flight and is retried on the
+            # respawned worker; the client just sees a normal 200
+            served.append(client.validate({name: valid_acc_source})["verdicts"])
+        workers = client.stats()["service"]["workers"]
+        assert served == control
+        assert workers["restarts"] == 1
+        assert workers["batches_dispatched"] == 2
+        assert workers["alive"] == 1
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        _finish(proc)
+
+
+def test_sigkill_daemon_with_workers_still_recovers_jobs(tmp_path, slow_digest):
+    """kill -9 on a pooled daemon (no drain, orphaned workers) must
+    lose at most one round: a restart on the same journal resumes the
+    job to the uninterrupted digest, pool and all."""
+    jobs_dir = tmp_path / "jobs"
+    proc, port = _spawn_daemon(
+        jobs_dir,
+        fault="campaign:post-round=sleep:0.6",
+        extra=("--workers", "1"),
+    )
+    try:
+        client = ServiceClient(port=port, timeout=30)
+        job_id = client.submit_job("campaign", SLOW_CAMPAIGN.to_json())["id"]
+        checkpoint = jobs_dir / job_id / "work" / "checkpoint.json"
+        wait_until(checkpoint.exists, timeout=60.0)
+        proc.kill()  # SIGKILL: no checkpoint_and_stop, no pool close
+        proc.wait(timeout=30)
+    finally:
+        _finish(proc)
+
+    proc2, port2 = _spawn_daemon(jobs_dir, extra=("--workers", "1"))
+    try:
+        client = ServiceClient(port=port2, timeout=30)
+        finished = client.wait_for_job(job_id, timeout=180.0)
+        assert finished["state"] == "done", finished.get("error")
+        assert finished["result"]["digest"] == slow_digest
         proc2.send_signal(signal.SIGTERM)
         assert proc2.wait(timeout=60) == 0
     finally:

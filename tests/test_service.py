@@ -249,6 +249,88 @@ class TestMicroBatcher:
             queued.result(10.0)
 
 
+class TestConcurrencyStress:
+    """32 simultaneous clients — well beyond what the rest of the suite
+    drives — against the dispatcher-threaded batcher: every future must
+    resolve exactly once with its own payload's result, and 429s may
+    appear only when the admission queue is genuinely at capacity."""
+
+    def test_32_clients_no_lost_or_duplicated_futures(self):
+        def runner(key, payloads):
+            time.sleep(0.001)  # enough to overlap dispatchers
+            return [("done", payload) for payload in payloads]
+
+        batcher = MicroBatcher(
+            runner,
+            max_batch_size=4,
+            max_latency=0.002,
+            capacity=512,
+            dispatch_workers=4,
+        )
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def client(cid: int) -> None:
+            try:
+                futures = [batcher.submit("k", (cid, n)) for n in range(8)]
+                results[cid] = [future.result(60.0) for future in futures]
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(cid,)) for cid in range(32)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert not errors
+        # exactly-once, in submission order, tied to the right client
+        for cid in range(32):
+            assert results[cid] == [("done", (cid, n)) for n in range(8)]
+        snapshot = batcher.snapshot()
+        assert snapshot["submitted"] == 256
+        assert snapshot["completed"] == 256
+        assert snapshot["rejected"] == 0
+        assert snapshot["failed"] == 0
+        assert batcher.close()
+        assert batcher.snapshot()["queue_depth"] == 0
+
+    def test_429_only_when_genuinely_full(self):
+        gate = threading.Event()
+
+        def gated(key, payloads):
+            gate.wait(30.0)
+            return list(payloads)
+
+        batcher = MicroBatcher(
+            gated, max_batch_size=1, max_latency=0.0, capacity=2, dispatch_workers=2
+        )
+        admitted = []
+        try:
+            with pytest.raises(BatchQueueFull) as excinfo:
+                # the dispatch pipeline absorbs a few batches before the
+                # admission queue can back up, so keep submitting until
+                # the bound actually bites
+                for n in range(64):
+                    admitted.append(batcher.submit("k", n))
+                    time.sleep(0.005)
+            # rejection happened at genuine capacity, not before
+            assert excinfo.value.depth == excinfo.value.capacity == 2
+            assert len(admitted) >= 2
+        finally:
+            gate.set()
+        assert sorted(future.result(30.0) for future in admitted) == sorted(
+            range(len(admitted))
+        )
+        # pressure released: the queue admits again
+        assert batcher.submit("k", "after").result(30.0) == "after"
+        snapshot = batcher.snapshot()
+        assert snapshot["rejected"] == 1
+        assert snapshot["failed"] == 0
+        batcher.close()
+
+
 # ----------------------------------------------------------------------
 # HTTP service
 # ----------------------------------------------------------------------
@@ -547,6 +629,57 @@ class TestHTTPService:
             thread.join(10.0)
 
 
+class TestHTTPServiceUnderPool:
+    """The full HTTP stack over a 2-process worker pool, hammered by 32
+    concurrent clients — the serving path CI's service-smoke job boots."""
+
+    def test_32_concurrent_clients_against_pooled_daemon(self, valid_acc_source):
+        server = make_server(
+            port=0, max_latency=0.005, workers=2, queue_capacity=128
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        responses: dict[int, dict] = {}
+        errors: list[BaseException] = []
+
+        def hit(cid: int) -> None:
+            try:
+                client = client_for(server, timeout=120.0)
+                responses[cid] = client.validate({f"client{cid}.c": valid_acc_source})
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        try:
+            clients = [
+                threading.Thread(target=hit, args=(cid,)) for cid in range(32)
+            ]
+            for worker in clients:
+                worker.start()
+            for worker in clients:
+                worker.join(120.0)
+            assert not errors
+            for cid in range(32):
+                assert responses[cid]["summary"] == {
+                    "total": 1, "valid": 1, "invalid": 0,
+                }
+            stats = client_for(server).stats()
+        finally:
+            server.service.drain(timeout=30.0)
+            server.shutdown()
+            server.server_close()
+            thread.join(10.0)
+        service = stats["service"]
+        assert service["validate_requests"] == 32
+        assert service["batching"]["submitted"] == 32
+        assert service["batching"]["completed"] == 32
+        assert service["batching"]["failed"] == 0
+        assert service["workers"]["configured"] == 2
+        assert service["workers"]["alive"] == 2
+        assert service["workers"]["batches_dispatched"] >= 1
+        # every file validated exactly once, across however many batches
+        assert stats["pipeline"]["stages"]["compile"]["processed"] == 32
+
+
 class TestClientRetry:
     """The retry loop itself, with ``_roundtrip`` stubbed out — no
     sockets, so each case pins down exactly how many attempts and
@@ -621,6 +754,32 @@ class TestClientRetry:
         assert all(0.025 <= s < 0.05 for s in first)
         assert len(set(first)) > 1, "no jitter"
         assert all(client._backoff(20) <= 2.0 for _ in range(10))
+
+    def test_backoff_seed_makes_retry_timing_deterministic(self):
+        schedule = [
+            ServiceClient(backoff_seed=7)._backoff(attempt) for attempt in (1, 2, 3, 4)
+        ]
+        assert schedule == [
+            ServiceClient(backoff_seed=7)._backoff(attempt) for attempt in (1, 2, 3, 4)
+        ]
+        assert schedule != [
+            ServiceClient(backoff_seed=8)._backoff(attempt) for attempt in (1, 2, 3, 4)
+        ]
+
+    def test_backoff_never_touches_the_global_rng(self):
+        """Client jitter must come from a private Random: retrying mid-
+        experiment cannot perturb application-level seeding, and two
+        unseeded clients still jitter independently."""
+        import random as global_random
+
+        global_random.seed(1234)
+        expected = [global_random.random() for _ in range(3)]
+        global_random.seed(1234)
+        client = ServiceClient()
+        for attempt in (1, 2, 3, 4, 5):
+            client._backoff(attempt)
+        assert [global_random.random() for _ in range(3)] == expected
+        assert ServiceClient()._backoff(1) != ServiceClient()._backoff(1)
 
 
 class TestGetErrorHandling:
