@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.obs.metrics import get_metrics
+
 try:  # POSIX advisory locks guard concurrent-process saves
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
@@ -80,9 +82,16 @@ class ResultCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return None
+                value = self._entries[key]
+            else:
+                self.misses += 1
+                value = None
+        get_metrics().counter(
+            "cache_lookups_total",
+            namespace=self.name,
+            result="miss" if value is None else "hit",
+        ).inc()
+        return value
 
     def put(self, key: str, value: Any) -> None:
         with self._lock:

@@ -124,6 +124,11 @@ def _main(argv: list[str] | None = None) -> int:
     p_validate.add_argument("--judge", choices=("direct", "indirect"), default="direct")
     p_validate.add_argument("--no-early-exit", action="store_true")
     p_validate.add_argument("--workers", type=int, default=2)
+    p_validate.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a JSON-lines span log of the run (inspect with "
+             "'llm4vv trace summarize|export|gantt FILE')",
+    )
     add_cache_flags(p_validate)
     add_backend_flag(p_validate)
 
@@ -208,6 +213,11 @@ def _main(argv: list[str] | None = None) -> int:
         "--jobs-dir", default=None, metavar="DIR",
         help="enable the durable job queue (POST /v1/jobs): journal and "
              "work dirs live under DIR and survive daemon restarts",
+    )
+    p_serve.add_argument(
+        "--trace-log", default=None, metavar="FILE",
+        help="collect spans for every request/batch/stage and write a "
+             "JSON-lines span log to FILE on drain",
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -353,6 +363,29 @@ def _main(argv: list[str] | None = None) -> int:
         help="also list each uncovered catalog feature with its description",
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect or convert a JSON-lines span log"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    pt_summarize = trace_sub.add_parser(
+        "summarize", help="per-span-name latency table + request ids"
+    )
+    pt_summarize.add_argument("log", help="span log written by --trace-out/--trace-log")
+
+    pt_export = trace_sub.add_parser(
+        "export", help="convert a span log to Chrome trace-event JSON "
+                       "(open in Perfetto / chrome://tracing)"
+    )
+    pt_export.add_argument("log", help="span log written by --trace-out/--trace-log")
+    pt_export.add_argument("--out", default="chrome-trace.json", metavar="FILE")
+
+    pt_gantt = trace_sub.add_parser(
+        "gantt", help="text Gantt chart of the pipeline stage spans"
+    )
+    pt_gantt.add_argument("log", help="span log written by --trace-out/--trace-log")
+    pt_gantt.add_argument("--width", type=positive_int, default=60)
+
     p_cache = sub.add_parser("cache", help="inspect or purge an on-disk cache")
     p_cache.add_argument("action", choices=("stats", "purge"))
     p_cache.add_argument("--cache-dir", required=True, metavar="DIR")
@@ -389,6 +422,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_fuzz(args)
     if args.command == "coverage":
         return _cmd_coverage(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -426,11 +461,13 @@ def _finish_cache(cache, backend: str | None = None) -> None:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core import TestsuiteValidator
+    from repro.obs import trace as obs_trace
 
     sources = {}
     for path in args.files:
         sources[Path(path).name] = Path(path).read_text()
     cache = _make_cache(args)
+    tracer = obs_trace.Tracer() if args.trace_out else None
     try:
         validator = TestsuiteValidator(
             flavor=args.flavor,
@@ -440,7 +477,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             cache=cache,
             execution_backend=args.backend,
         )
-        report = validator.validate_sources(sources)
+        if tracer is not None:
+            with obs_trace.installed(tracer):
+                report = validator.validate_sources(sources)
+        else:
+            report = validator.validate_sources(sources)
         for judged in report.files:
             marker = "PASS" if judged.is_valid else "FAIL"
             print(f"[{marker}] {judged.name} ({judged.stage}): {judged.reason}")
@@ -454,6 +495,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         # also reached on KeyboardInterrupt/SIGTERM: the scheduler has
         # drained by now, so persist whatever work completed
         _finish_cache(cache, backend=args.backend)
+        if tracer is not None:
+            from repro.obs.export import write_span_log
+
+            write_span_log(tracer.spans, args.trace_out)
+            print(f"trace: wrote {len(tracer)} span(s) to {args.trace_out}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -633,6 +679,7 @@ def _bind_server(args: argparse.Namespace, cache):
         max_latency=args.max_latency_ms / 1000.0,
         queue_capacity=args.queue_capacity,
         jobs_dir=args.jobs_dir,
+        trace_log=args.trace_log,
     )
 
 
@@ -1033,6 +1080,40 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"purged {', '.join(purged)} from {directory}")
     else:
         print(f"nothing to purge for {scope} in {directory}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        chrome_trace,
+        load_span_log,
+        render_gantt,
+        render_summary,
+        summarize_spans,
+    )
+
+    try:
+        spans = load_span_log(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"trace: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"trace: {args.log} holds no spans", file=sys.stderr)
+        return 1
+    if args.trace_command == "summarize":
+        print(render_summary(summarize_spans(spans)))
+        return 0
+    if args.trace_command == "gantt":
+        print(render_gantt(spans, width=args.width))
+        return 0
+    from repro.core.atomicio import atomic_write_json
+
+    payload = chrome_trace(spans)
+    atomic_write_json(Path(args.out), payload, fault_tag="trace-export")
+    print(
+        f"trace: wrote {len(payload['traceEvents'])} event(s) to {args.out} "
+        "(open in Perfetto or chrome://tracing)"
+    )
     return 0
 
 

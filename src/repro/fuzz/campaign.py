@@ -30,6 +30,7 @@ from repro.corpus.coverage import CoverageReport, measure_coverage
 from repro.corpus.generator import CorpusGenerator, TestFile
 from repro.cache.keys import content_key
 from repro.llm.model import DeepSeekCoderSim
+from repro.obs.metrics import get_metrics
 from repro.pipeline.scheduler import StageScheduler
 from repro.fuzz.differential import Discrepancy, discrepancy_from
 from repro.fuzz.operators import FuzzOperator, operators_by_name
@@ -501,6 +502,13 @@ class Campaign:
             stats.rounds = round_no
             stats.coverage_curve.append(len(frontier))
             stats.acceptance_curve.append(len(corpus))
+            # inert telemetry: counters/gauges only — the digest, RNG,
+            # and checkpoint contents never see any of this
+            registry = get_metrics()
+            registry.counter("fuzz_rounds_total").inc()
+            registry.counter("fuzz_candidates_total").inc(len(processed))
+            registry.gauge("fuzz_corpus_size").set(len(corpus))
+            registry.gauge("fuzz_frontier_size").set(len(frontier))
             if progress:
                 progress(
                     f"round {round_no}: corpus {len(corpus)}, "

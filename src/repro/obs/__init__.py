@@ -1,0 +1,19 @@
+"""Unified telemetry: cross-process tracing, metrics, exposition.
+
+Three small modules with one discipline between them — telemetry is
+*inert*: spans and metrics observe wall-clock facts but never feed a
+digest, cache key, checkpoint, or RNG, so every byte-identity gate in
+the repo holds with tracing on.
+
+* :mod:`repro.obs.trace`   — trace-id/span-id contexts, an ambient
+  process tracer, picklable :class:`~repro.obs.trace.TraceContext`
+  for crossing the worker-pool pipe;
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms in a
+  process registry, mergeable across processes like ``PipelineStats``;
+* :mod:`repro.obs.export`  — JSON-lines span logs, Chrome-trace
+  (Perfetto) conversion, summaries, and a text Gantt view.
+"""
+
+from repro.obs import export, metrics, trace
+
+__all__ = ["export", "metrics", "trace"]

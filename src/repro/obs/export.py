@@ -1,0 +1,171 @@
+"""Span-log persistence and conversion.
+
+The exchange format is JSON lines — one :meth:`SpanRecord.to_json`
+dict per line, written through :mod:`repro.core.atomicio` so a reader
+never sees a torn log.  From a log you can get:
+
+* :func:`chrome_trace` — a Chrome-trace-event dict (complete events,
+  ``ph: "X"``, microsecond timestamps) loadable in Perfetto or
+  ``chrome://tracing``;
+* :func:`summarize_spans` — per-name latency stats plus every request
+  id seen, the ``llm4vv trace summarize`` body;
+* :func:`render_gantt` — a text Gantt of the ``stage.*`` spans,
+  grouped by file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.atomicio import atomic_write_text
+from repro.obs.trace import SpanRecord
+
+SpanLike = Union[SpanRecord, dict]
+
+
+def _as_dicts(spans: Iterable[SpanLike]) -> list[dict]:
+    return [s.to_json() if isinstance(s, SpanRecord) else dict(s) for s in spans]
+
+
+def write_span_log(spans: Iterable[SpanLike], path) -> Path:
+    """Write one JSON dict per line, atomically."""
+    records = _as_dicts(spans)
+    text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    return atomic_write_text(path, text, fault_tag="span-log")
+
+
+def load_span_log(path) -> list[dict]:
+    """Read a JSON-lines span log back into dicts."""
+    spans = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+def chrome_trace(spans: Iterable[SpanLike]) -> dict:
+    """Convert spans to the Chrome trace-event format (Perfetto-loadable).
+
+    Timestamps are microseconds relative to the earliest span, one
+    complete ("X") event per span; trace/span/parent ids and span
+    attributes travel in ``args`` so a request id is searchable in the
+    trace viewer.
+    """
+    records = _as_dicts(spans)
+    if not records:
+        return {"traceEvents": []}
+    epoch = min(r["start"] for r in records)
+    events = []
+    for r in sorted(records, key=lambda r: r["start"]):
+        events.append(
+            {
+                "name": r["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": round((r["start"] - epoch) * 1e6, 3),
+                "dur": round(max(0.0, r["end"] - r["start"]) * 1e6, 3),
+                "pid": r.get("pid", 0),
+                "tid": r.get("tid", 0),
+                "args": {
+                    "trace_id": r["trace_id"],
+                    "span_id": r["span_id"],
+                    "parent_id": r.get("parent_id"),
+                    **(r.get("attrs") or {}),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def summarize_spans(spans: Iterable[SpanLike]) -> dict:
+    """Per-name latency stats, trace count, and request ids seen."""
+    records = _as_dicts(spans)
+    by_name: dict[str, list[float]] = {}
+    traces: set[str] = set()
+    request_ids: list[str] = []
+    pids: set[int] = set()
+    for r in records:
+        by_name.setdefault(r["name"], []).append(
+            max(0.0, r["end"] - r["start"])
+        )
+        traces.add(r["trace_id"])
+        pids.add(r.get("pid", 0))
+        request_id = (r.get("attrs") or {}).get("request_id")
+        if request_id and request_id not in request_ids:
+            request_ids.append(request_id)
+    names = {}
+    for name, durations in sorted(by_name.items()):
+        durations.sort()
+        names[name] = {
+            "count": len(durations),
+            "min_ms": round(durations[0] * 1000, 3),
+            "mean_ms": round(sum(durations) / len(durations) * 1000, 3),
+            "max_ms": round(durations[-1] * 1000, 3),
+        }
+    return {
+        "spans": len(records),
+        "traces": len(traces),
+        "processes": len(pids),
+        "request_ids": request_ids,
+        "by_name": names,
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Text table for ``llm4vv trace summarize``."""
+    lines = [
+        f"{summary['spans']} spans in {summary['traces']} trace(s) "
+        f"across {summary['processes']} process(es)"
+    ]
+    if summary["request_ids"]:
+        lines.append("request ids: " + ", ".join(summary["request_ids"]))
+    if summary["by_name"]:
+        width = max(len(name) for name in summary["by_name"])
+        lines.append(
+            f"{'span'.ljust(width)}  count     min      mean       max"
+        )
+        for name, stats in summary["by_name"].items():
+            lines.append(
+                f"{name.ljust(width)}  {stats['count']:5d} "
+                f"{stats['min_ms']:8.2f}ms {stats['mean_ms']:8.2f}ms "
+                f"{stats['max_ms']:8.2f}ms"
+            )
+    return "\n".join(lines)
+
+
+def render_gantt(spans: Iterable[SpanLike], width: int = 60, max_files: int = 20) -> str:
+    """Text Gantt of the ``stage.*`` spans, one row per file."""
+    stage_spans = [
+        r for r in _as_dicts(spans) if r["name"].startswith("stage.")
+    ]
+    if not stage_spans:
+        return "(no stage spans)"
+    epoch = min(r["start"] for r in stage_spans)
+    t_end = max(r["end"] - epoch for r in stage_spans)
+    scale = width / t_end if t_end > 0 else 1.0
+    letters = {"compile": "C", "execute": "X", "judge": "J"}
+    rows: dict[str, list[str]] = {}
+    order: list[str] = []
+    for r in sorted(stage_spans, key=lambda r: r["start"]):
+        file = str((r.get("attrs") or {}).get("file", "?"))
+        if file not in rows:
+            if len(order) >= max_files:
+                continue
+            rows[file] = [" "] * width
+            order.append(file)
+        row = rows[file]
+        lo = min(width - 1, int((r["start"] - epoch) * scale))
+        hi = min(width - 1, max(lo, int((r["end"] - epoch) * scale)))
+        stage = r["name"][len("stage."):]
+        for i in range(lo, hi + 1):
+            row[i] = letters.get(stage, "?")
+    name_width = max(len(name) for name in order)
+    lines = [
+        f"{name.ljust(name_width)} |{''.join(rows[name])}|" for name in order
+    ]
+    lines.append(f"{'':{name_width}}  0{'.' * (width - 8)}{t_end * 1000:.0f}ms")
+    lines.append("C=compile X=execute J=judge")
+    return "\n".join(lines)

@@ -31,10 +31,24 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.obs import trace
+from repro.obs.metrics import get_metrics
 from repro.pipeline.stages import Stage, StageOutcome
 from repro.pipeline.stats import StageStats
 
 _SENTINEL = object()
+
+
+def _trace_label(item: Any) -> str:
+    """Best-effort file name for an in-flight item (span/gantt label)."""
+    name = getattr(item, "name", None)
+    if isinstance(name, str):
+        return name
+    test = getattr(getattr(item, "record", None), "test", None)
+    if test is None:
+        test = getattr(item, "test", None)
+    name = getattr(test, "name", None)
+    return name if isinstance(name, str) else type(item).__name__
 
 
 @dataclass(frozen=True)
@@ -144,6 +158,22 @@ class StageScheduler:
         result = SchedulerResult(stats=self.stats)
         finished_lock = threading.Lock()
 
+        # Tracing: contextvars do not cross threads, so capture the
+        # submitting thread's context here and parent every stage span
+        # explicitly; worker threads never read the contextvar directly.
+        tracer = trace.active()
+        run_span = None
+        run_ctx = None
+        if tracer is not None:
+            run_span = tracer.start_span(
+                "scheduler.run",
+                parent=trace.current(),
+                stages=",".join(self._index),
+                items=len(items),
+            )
+            run_ctx = run_span.context
+        metrics = get_metrics()
+
         queues = [
             queue.Queue(maxsize=self.queue_capacity) for _ in self.stages
         ]
@@ -192,15 +222,29 @@ class StageScheduler:
                     continue
                 t0 = time.perf_counter()
                 try:
-                    outcome = stage.process(item, state)
+                    with trace.span(
+                        f"stage.{stage.name}",
+                        parent=run_ctx,
+                        file=_trace_label(item),
+                    ):
+                        outcome = stage.process(item, state)
                 except Exception as exc:  # noqa: BLE001 - contained by design
                     busy = time.perf_counter() - t0
                     stats.record(False, busy, 0.0)
+                    metrics.counter(
+                        "pipeline_stage_errors_total", stage=stage.name
+                    ).inc()
                     with finished_lock:
                         result.errors.append(StageError(stage.name, item, exc))
                     finish(item)
                 else:
                     busy = time.perf_counter() - t0
+                    metrics.histogram(
+                        "pipeline_stage_seconds", stage=stage.name
+                    ).observe(busy)
+                    metrics.counter(
+                        "pipeline_stage_items_total", stage=stage.name
+                    ).inc()
                     if outcome.ok is not None:
                         simulated = (
                             busy
@@ -260,10 +304,15 @@ class StageScheduler:
                         thread.join(timeout=0.05)
             result.aborted = True
             result.wall_seconds = time.perf_counter() - started
+            if run_span is not None:
+                run_span.attrs["aborted"] = True
+                tracer.finish(run_span)
             raise
 
         result.aborted = self._abort.is_set()
         result.wall_seconds = time.perf_counter() - started
+        if run_span is not None:
+            tracer.finish(run_span)
         return result
 
 

@@ -22,6 +22,7 @@ from repro.compiler.driver import Compiler
 from repro.corpus.generator import TestFile
 from repro.judge.llmj import AgentLLMJ
 from repro.llm.model import DeepSeekCoderSim
+from repro.obs import trace
 from repro.runtime.executor import ExecutionResult, Executor
 
 
@@ -146,6 +147,9 @@ class ExecuteStage(Stage):
 
     def process(self, payload: PipelineItem, executor) -> StageOutcome:
         record = payload.record
+        trace.annotate(
+            backend=getattr(self.config, "execution_backend", "closure")
+        )
         executed: ExecutionResult = executor.run(payload.compiled)
         record.run_rc = executed.returncode
         record.run_stderr = executed.stderr

@@ -83,12 +83,31 @@ class PipelineTracer:
                 (e for e in self.events if e.file == file), key=lambda e: e.start
             )
 
+    def stage_gaps(self, file: str, from_stage: str, to_stage: str) -> list[float]:
+        """Queue waits between two stages for one file, *all* pairs.
+
+        Retried or duplicated spans produce several events per stage;
+        the k-th ``from_stage`` event pairs with the k-th ``to_stage``
+        event in chronological order, so every attempt's wait is
+        reported instead of only the last one's.
+        """
+        timeline = self.file_timeline(file)
+        froms = [e for e in timeline if e.stage == from_stage]
+        tos = [e for e in timeline if e.stage == to_stage]
+        return [
+            max(0.0, to.start - frm.end) for frm, to in zip(froms, tos)
+        ]
+
     def stage_gap(self, file: str, from_stage: str, to_stage: str) -> float | None:
-        """Queue wait between two stages for one file (None if absent)."""
-        timeline = {e.stage: e for e in self.file_timeline(file)}
-        if from_stage not in timeline or to_stage not in timeline:
-            return None
-        return max(0.0, timeline[to_stage].start - timeline[from_stage].end)
+        """Queue wait between two stages for one file (None if absent).
+
+        With retries, the first attempt's gap; use :meth:`stage_gaps`
+        for every pair.  (This used to collapse the timeline into a
+        per-stage dict, silently keeping only the *last* event of each
+        stage — duplicate spans made the reported gap arbitrary.)
+        """
+        gaps = self.stage_gaps(file, from_stage, to_stage)
+        return gaps[0] if gaps else None
 
     def render_gantt(self, width: int = 60, max_files: int = 20) -> str:
         """Text Gantt chart: one row per file, stage letters over time."""
@@ -124,55 +143,37 @@ class PipelineTracer:
 def run_traced_pipeline(pipeline, files):
     """Run a ValidationPipeline while tracing stage spans.
 
-    Works by wrapping the pipeline's worker bodies via monkey-friendly
-    composition: we re-run the same stages sequentially with spans when
-    the pipeline has one worker per stage, or attach the tracer to the
-    stats path otherwise.  For precise concurrent traces, instrument at
-    the stage level: the engine's per-stage busy timing is already in
-    :class:`~repro.pipeline.stats.PipelineStats`; the tracer adds
-    per-file resolution.
+    This used to re-implement the stage bodies and run them serially —
+    a second copy of the pipeline that drifted from the real one (no
+    cache, no early-exit parity, no concurrency, so the "trace" showed
+    a schedule the engine never executes).  It is now a thin shim: the
+    *actual* ``pipeline.run`` executes under an ambient
+    :class:`repro.obs.trace.Tracer`, and the engine's own
+    ``stage.<name>`` spans (emitted by the scheduler worker loop) are
+    projected down to :class:`TraceEvent` rows.  Verdicts are therefore
+    byte-identical to an untraced run, and the timeline reflects the
+    real concurrent schedule.
     """
-    from repro.compiler.driver import Compiler
-    from repro.judge.llmj import AgentLLMJ
-    from repro.runtime.executor import Executor
+    from repro.obs import trace as obs_trace
+
+    collector = obs_trace.Tracer()
+    with obs_trace.installed(collector):
+        result = pipeline.run(files)
 
     tracer = PipelineTracer()
-    cfg = pipeline.config
-    compiler = Compiler(model=cfg.flavor, openmp_max_version=cfg.openmp_max_version)
-    executor = Executor(
-        step_limit=cfg.step_limit,
-        backend=getattr(cfg, "execution_backend", "closure"),
-    )
-    judge = AgentLLMJ(
-        pipeline.model, cfg.flavor, kind=cfg.judge_kind,
-        execution_backend=getattr(cfg, "execution_backend", "closure"),
-    )
-
-    from repro.pipeline.engine import PipelineRecord, PipelineResult
-
-    result = PipelineResult()
-    result.stats.files_total = len(files)
-    t0 = time.perf_counter()
-    for test in files:
-        with tracer.span(test.name, "compile"):
-            compiled = compiler.compile(test.source, test.name)
-            if pipeline.environment is not None:
-                compiled = pipeline.environment.apply(test, compiled)
-        record = PipelineRecord(
-            test=test,
-            compile_rc=compiled.returncode,
-            compile_stderr=compiled.stderr,
-            diagnostic_codes=tuple(compiled.diagnostic_codes),
-        )
-        if compiled.ok:
-            with tracer.span(test.name, "execute"):
-                executed = executor.run(compiled)
-            record.run_rc = executed.returncode
-            record.run_stderr = executed.stderr
-            record.run_stdout = executed.stdout
-        if not cfg.early_exit or (record.compiled and record.ran_clean):
-            with tracer.span(test.name, "judge"):
-                record.judge_result = judge.judge(test, record.tool_report())
-        result.records.append(record)
-    result.stats.wall_seconds = time.perf_counter() - t0
+    stage_spans = [
+        s for s in collector.spans if s.name.startswith("stage.") and s.end
+    ]
+    if stage_spans:
+        epoch = min(s.start for s in stage_spans)
+        for span in stage_spans:
+            tracer.events.append(
+                TraceEvent(
+                    file=str(span.attrs.get("file", "?")),
+                    stage=span.name[len("stage."):],
+                    start=span.start - epoch,
+                    end=span.end - epoch,
+                )
+            )
+        tracer.events.sort(key=lambda e: e.start)
     return result, tracer

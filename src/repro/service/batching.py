@@ -37,6 +37,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.obs.metrics import get_metrics
+
 
 class BatchQueueFull(RuntimeError):
     """Admission queue at capacity; retry after ``retry_after`` seconds."""
@@ -219,6 +221,9 @@ class MicroBatcher:
     def _bump(self, counter: str, by: int = 1) -> None:
         with self._counter_lock:
             self._counters[counter] += by
+        # mirror every lifetime counter into the metrics registry so
+        # /v1/metrics exposes the batcher without a second bookkeeping path
+        get_metrics().counter(f"service_batcher_{counter}_total").inc(by)
 
     def _next(self, timeout: float) -> _Pending | None:
         try:
@@ -291,6 +296,9 @@ class MicroBatcher:
             self._counters["largest_batch"] = max(
                 self._counters["largest_batch"], len(batch)
             )
+        get_metrics().histogram(
+            "service_batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
+        ).observe(len(batch))
         if self._dispatch_queue is None:
             self._execute(key, batch)
         else:

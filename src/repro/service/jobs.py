@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.atomicio import atomic_write_json
+from repro.obs.metrics import get_metrics
 from repro.service.protocol import JOB_STATES, TERMINAL_JOB_STATES
 
 WORK_DIRNAME = "work"
@@ -63,6 +64,9 @@ class JobRecord:
     result: dict | None = None
     #: state-machine trail, e.g. ["queued", "running", "checkpointed"]
     history: list[str] = field(default_factory=lambda: ["queued"])
+    #: the submitting request's X-Request-Id, journaled so an operator
+    #: can correlate a job with its HTTP submission and span log
+    request_id: str | None = None
 
     def to_json(self) -> dict:
         return {
@@ -75,6 +79,7 @@ class JobRecord:
             "error": self.error,
             "result": self.result,
             "history": list(self.history),
+            "request_id": self.request_id,
         }
 
     @classmethod
@@ -92,6 +97,7 @@ class JobRecord:
             error=data.get("error"),
             result=data.get("result"),
             history=list(data.get("history", [state])),
+            request_id=data.get("request_id"),
         )
 
 
@@ -138,6 +144,9 @@ class JobManager:
             record.state = state
             record.history.append(state)
             self._journal(record)
+        get_metrics().counter(
+            "service_job_transitions_total", state=state
+        ).inc()
 
     def _recover(self) -> None:
         """Rebuild queue + records from the journal (daemon restart).
@@ -178,7 +187,7 @@ class JobManager:
         )
         self._thread.start()
 
-    def submit(self, kind: str, spec: dict) -> JobRecord:
+    def submit(self, kind: str, spec: dict, request_id: str | None = None) -> JobRecord:
         now = time.time()
         with self._lock:
             indices = [
@@ -192,6 +201,7 @@ class JobManager:
                 spec=dict(spec),
                 created_at=now,
                 updated_at=now,
+                request_id=request_id,
             )
             self._records[record.id] = record
             self._journal(record)

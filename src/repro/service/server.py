@@ -22,6 +22,9 @@ Endpoints
 * ``GET  /v1/jobs/<id>/artifacts`` — what the job has produced;
 * ``GET  /healthz``      — liveness + drain state (+ job counts);
 * ``GET  /v1/stats``     — live batching/pipeline/cache counters;
+* ``GET  /v1/metrics``   — the metrics registry in Prometheus text
+  format (counters/gauges/histograms from every layer, including
+  deltas shipped home by pool workers);
 * ``GET  /v1/fuzz/stats`` — lifetime fuzzing-campaign counters for this
   process (campaigns, executions, discrepancies, acceptance).
 
@@ -49,6 +52,8 @@ from repro.corpus.generator import TestFile
 from repro.judge.agent import ToolReport
 from repro.judge.llmj import AgentLLMJ
 from repro.llm.model import DeepSeekCoderSim
+from repro.obs import trace
+from repro.obs.metrics import get_metrics
 from repro.pipeline.stats import PipelineStats
 from repro.service.batching import BatcherClosed, BatchQueueFull, MicroBatcher
 from repro.service.protocol import (
@@ -63,10 +68,17 @@ from repro.testing.faultinject import fault_point
 
 @dataclass
 class _Admitted:
-    """One admitted validate request, stamped for queue-delay timing."""
+    """One admitted validate request, stamped for queue-delay timing.
+
+    ``trace_ctx``/``request_id`` carry the handler thread's span
+    context into the collector/dispatcher threads, where contextvars
+    do not propagate — the batch span re-attaches to them explicitly.
+    """
 
     request: ValidateRequest
     enqueued_at: float = field(default_factory=time.monotonic)
+    request_id: str | None = None
+    trace_ctx: trace.TraceContext | None = None
 
 
 class ValidationService:
@@ -85,8 +97,17 @@ class ValidationService:
         jobs_dir: str | None = None,
         workers: int = 0,
         worker_start_method: str | None = None,
+        trace_log: str | None = None,
     ):
         self.cache = cache
+        # --trace-log: install a process-ambient tracer; every request,
+        # batch, stage, and worker span lands in it, and drain() writes
+        # the JSON-lines span log.  Without it the trace module no-ops.
+        self.trace_log = trace_log
+        self._tracer = None
+        if trace_log is not None:
+            self._tracer = trace.Tracer()
+            trace.install(self._tracer)
         self.jobs = None
         if jobs_dir is not None:
             # lazy import: a daemon without --jobs-dir never loads the
@@ -144,9 +165,12 @@ class ValidationService:
     # request entry points
     # ------------------------------------------------------------------
 
-    def submit(self, request: ValidateRequest) -> Future:
+    def submit(self, request: ValidateRequest, request_id: str | None = None) -> Future:
         """Admit one validate request (raises BatchQueueFull on pressure)."""
-        future = self.batcher.submit(request.options, _Admitted(request))
+        admitted = _Admitted(
+            request, request_id=request_id, trace_ctx=trace.current()
+        )
+        future = self.batcher.submit(request.options, admitted)
         self._bump("validate_requests")
         return future
 
@@ -217,6 +241,36 @@ class ValidationService:
 
         return fuzz_stats_snapshot()
 
+    def metrics_text(self) -> str:
+        """The ``GET /v1/metrics`` body (Prometheus text format).
+
+        Point-in-time gauges are refreshed at exposition time — they
+        also guarantee a fresh daemon serves non-empty output before
+        any request has incremented a counter.
+        """
+        registry = get_metrics()
+        registry.gauge("service_uptime_seconds").set(
+            time.monotonic() - self.started_at
+        )
+        registry.gauge("service_queue_depth").set(self.batcher.depth)
+        registry.gauge("service_queue_capacity").set(self.batcher.capacity)
+        registry.gauge("service_workers_configured").set(
+            self.pool.size if self.pool is not None else 0
+        )
+        registry.gauge("service_workers_alive").set(
+            self.pool.alive if self.pool is not None else 0
+        )
+        if self.jobs is not None:
+            for state, count in self.jobs.snapshot()["by_state"].items():
+                registry.gauge("service_jobs", state=state).set(count)
+        if self.cache is not None:
+            for namespace in self.cache.namespaces:
+                total = namespace.hits + namespace.misses
+                registry.gauge(
+                    "service_cache_hit_ratio", namespace=namespace.name
+                ).set(namespace.hits / total if total else 0.0)
+        return registry.render_prometheus()
+
     def stats_snapshot(self) -> dict:
         """Everything ``/v1/stats`` serves, copied under the right locks."""
         from repro.runtime.interpreter import DEFAULT_BACKEND, EXECUTION_BACKENDS
@@ -280,6 +334,15 @@ class ValidationService:
             self.pool.close(timeout=timeout)
         if self.cache is not None:
             self.cache.save()
+        if self._tracer is not None:
+            from repro.obs.export import write_span_log
+
+            write_span_log(self._tracer.spans, self.trace_log)
+            # the ambient tracer was installed by __init__; a drained
+            # service must not keep collecting into a flushed log (or
+            # leak its tracer into the next service in this process)
+            if trace.active() is self._tracer:
+                trace.uninstall()
         return parked
 
     # ------------------------------------------------------------------
@@ -321,11 +384,37 @@ class ValidationService:
         from repro.service.workers import execute_batch
 
         requests = [payload.request.files for payload in payloads]
+        # the batch span re-attaches to the first admitted request's
+        # context (contextvars don't cross into dispatcher threads);
+        # sibling request ids ride along as an attribute so any one of
+        # them finds this batch in the exported log
+        parent_ctx = next(
+            (p.trace_ctx for p in payloads if p.trace_ctx is not None), None
+        )
+        request_ids = [p.request_id for p in payloads if p.request_id]
         dispatched_at = time.monotonic()
-        if self.pool is not None:
-            result = self.pool.run_batch(options, requests)
-        else:
-            result = execute_batch(self._validator_for, options, requests)
+        t0 = time.perf_counter()
+        with trace.span(
+            "service.batch",
+            parent=parent_ctx,
+            requests=len(payloads),
+            request_ids=",".join(request_ids),
+            pooled=self.pool is not None,
+        ):
+            if self.pool is not None:
+                result = self.pool.run_batch(options, requests)
+            else:
+                result = execute_batch(self._validator_for, options, requests)
+        get_metrics().histogram("service_batch_seconds").observe(
+            time.perf_counter() - t0
+        )
+        # telemetry shipped home by a pool worker: spans into the
+        # ambient tracer, metric growth into the parent registry
+        tracer = trace.active()
+        if tracer is not None and result.spans:
+            tracer.absorb(result.spans)
+        if result.metrics_delta:
+            get_metrics().apply(result.metrics_delta)
         # several dispatcher threads can land here at once; walls still
         # sum (concurrent=False) so the aggregate reads as total
         # validation compute, matching the single-process meaning
@@ -405,6 +494,19 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _read_json(self) -> object:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -429,6 +531,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 self._send(200, self._service.health())
+            elif self.path == "/v1/metrics":
+                self._send_text(200, self._service.metrics_text())
             elif self.path == "/v1/stats":
                 self._send(200, self._service.stats_snapshot())
             elif self.path == "/v1/fuzz/stats":
@@ -470,30 +574,70 @@ class _Handler(BaseHTTPRequestHandler):
         except OSError:
             pass
 
+    def _request_id(self) -> str:
+        """The client's X-Request-Id, or a fresh one; always echoed."""
+        return self.headers.get("X-Request-Id") or trace.new_id()
+
     def _post_validate(self) -> None:
         request = ValidateRequest.from_dict(self._read_json())
-        try:
-            future = self._service.submit(request)
-        except BatchQueueFull as exc:
-            self._send(
-                429,
-                error_body(
-                    "admission queue full; retry later",
-                    queue_depth=exc.depth,
-                    queue_capacity=exc.capacity,
-                    retry_after=exc.retry_after,
-                ),
-                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
-            )
-            return
-        except BatcherClosed:
-            self._send(503, error_body("service is draining; not accepting work"))
-            return
-        self._send(200, future.result())
+        request_id = self._request_id()
+        headers = {"X-Request-Id": request_id}
+        status = 200
+        t0 = time.perf_counter()
+        # the root span of everything this request causes: the batch
+        # span (collector thread), pool dispatch, worker-side pipeline
+        # spans — all reachable from this request_id in the span log
+        with trace.span(
+            "service.request",
+            request_id=request_id,
+            endpoint="validate",
+            files=len(request.files),
+        ):
+            try:
+                future = self._service.submit(request, request_id=request_id)
+            except BatchQueueFull as exc:
+                status = 429
+                self._send(
+                    429,
+                    error_body(
+                        "admission queue full; retry later",
+                        queue_depth=exc.depth,
+                        queue_capacity=exc.capacity,
+                        retry_after=exc.retry_after,
+                    ),
+                    headers={
+                        **headers,
+                        "Retry-After": str(max(1, round(exc.retry_after))),
+                    },
+                )
+            except BatcherClosed:
+                status = 503
+                self._send(
+                    503,
+                    error_body("service is draining; not accepting work"),
+                    headers=headers,
+                )
+            else:
+                self._send(200, future.result(), headers=headers)
+        registry = get_metrics()
+        registry.counter(
+            "service_requests_total", endpoint="validate", status=str(status)
+        ).inc()
+        registry.histogram(
+            "service_request_seconds", endpoint="validate"
+        ).observe(time.perf_counter() - t0)
 
     def _post_judge(self) -> None:
         request = JudgeRequest.from_dict(self._read_json())
-        self._send(200, self._service.judge(request))
+        request_id = self._request_id()
+        with trace.span(
+            "service.request", request_id=request_id, endpoint="judge"
+        ):
+            body = self._service.judge(request)
+        get_metrics().counter(
+            "service_requests_total", endpoint="judge", status="200"
+        ).inc()
+        self._send(200, body, headers={"X-Request-Id": request_id})
 
     # -- jobs ----------------------------------------------------------
 
@@ -535,5 +679,6 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(503, error_body("service is draining; not accepting work"))
             return
         spec = JobSpec.from_dict(self._read_json())
-        record = jobs.submit(spec.kind, spec.spec_dict())
-        self._send(200, record.to_json())
+        request_id = self._request_id()
+        record = jobs.submit(spec.kind, spec.spec_dict(), request_id=request_id)
+        self._send(200, record.to_json(), headers={"X-Request-Id": request_id})

@@ -11,13 +11,17 @@ pipe I/O.
 
 The protocol is deliberately tiny and picklable end to end:
 
-* parent → worker: ``("batch", options, requests)`` where ``options``
-  is the frozen :class:`~repro.service.protocol.ValidateOptions` and
-  ``requests`` is one tuple of ``(name, source)`` pairs per admitted
-  request;
+* parent → worker: ``("batch", options, requests, trace_ctx)`` where
+  ``options`` is the frozen
+  :class:`~repro.service.protocol.ValidateOptions`, ``requests`` is
+  one tuple of ``(name, source)`` pairs per admitted request, and
+  ``trace_ctx`` is the dispatching span's
+  :class:`~repro.obs.trace.TraceContext` (None with tracing off);
 * worker → parent: ``("result", BatchResult)`` — the per-request
   response dicts, the batch's :class:`PipelineStats` (locks dropped in
-  ``__getstate__``), and the worker cache's hit/miss delta — or
+  ``__getstate__``), the worker cache's hit/miss delta, the worker's
+  finished spans (already parented under ``trace_ctx``), and the
+  worker metrics registry's growth since its last report — or
   ``("error", traceback_text)`` for a worker-side exception with the
   worker still healthy.
 
@@ -48,6 +52,7 @@ holds the pool to.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 import traceback
@@ -59,6 +64,8 @@ from repro.experiments.sharding import (
     default_start_method,
     package_root_on_pythonpath,
 )
+from repro.obs import trace
+from repro.obs.metrics import get_metrics
 from repro.pipeline.stats import PipelineStats
 from repro.service.protocol import encode_verdict
 from repro.testing import faultinject
@@ -103,11 +110,17 @@ class BatchResult:
     :class:`PipelineStats`; ``cache_delta`` the worker cache's
     per-namespace hit/miss growth since its last report (None from the
     in-process path, whose validators update the parent cache live).
+    ``spans`` are the worker tracer's finished span dicts (None with
+    tracing off or in-process, where spans land in the ambient tracer
+    directly); ``metrics_delta`` is the worker registry's growth since
+    its last report, ready for ``MetricsRegistry.apply``.
     """
 
     responses: list
     stats: PipelineStats
     cache_delta: dict | None = None
+    spans: list | None = None
+    metrics_delta: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +259,15 @@ def worker_main(conn, config: WorkerConfig) -> None:
                 delta[namespace.name] = {"hits": hits, "misses": misses}
         return delta or None
 
+    # metrics ship like the cache delta: growth since the last report.
+    # The baseline starts at the *current* state because under fork the
+    # registry inherits the parent's counts, which must not re-ship.
+    metrics_baseline = [get_metrics().export_state()]
+
+    def metrics_delta() -> dict | None:
+        delta, metrics_baseline[0] = get_metrics().diff(metrics_baseline[0])
+        return delta or None
+
     parent = multiprocessing.parent_process()
     try:
         while True:
@@ -263,10 +285,33 @@ def worker_main(conn, config: WorkerConfig) -> None:
                 break  # pipe closed: wind down
             if message[0] == "stop":
                 break
-            _, options, requests = message
+            _, options, requests, *rest = message
+            trace_ctx = rest[0] if rest else None
             try:
-                result = execute_batch(validator_for, options, requests)
+                if trace_ctx is not None:
+                    # per-batch tracer: the root span opens from the
+                    # dispatching span's shipped context, so everything
+                    # the worker records is already parented correctly
+                    # when the parent absorbs it
+                    tracer = trace.Tracer()
+                    trace.install(tracer)
+                    try:
+                        with tracer.span(
+                            "worker.execute_batch",
+                            parent=trace_ctx,
+                            worker_pid=os.getpid(),
+                            requests=len(requests),
+                        ):
+                            result = execute_batch(
+                                validator_for, options, requests
+                            )
+                    finally:
+                        trace.uninstall()
+                    result.spans = [s.to_json() for s in tracer.drain()]
+                else:
+                    result = execute_batch(validator_for, options, requests)
                 result.cache_delta = cache_delta()
+                result.metrics_delta = metrics_delta()
                 fault_point("worker:pre-result")
                 conn.send(("result", result))
             except Exception:  # noqa: BLE001 - forwarded to the parent
@@ -377,6 +422,7 @@ class WorkerPool:
                 if existing is worker:
                     self._workers[i] = replacement
                     break
+        get_metrics().counter("service_worker_restarts_total").inc()
         return replacement
 
     def close(self, timeout: float | None = 10.0) -> bool:
@@ -419,6 +465,7 @@ class WorkerPool:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
             self._counters["batches_dispatched"] += 1
+        get_metrics().counter("service_worker_batches_total").inc()
         worker = self._idle.get()
         try:
             if not worker.process.is_alive():
@@ -426,13 +473,14 @@ class WorkerPool:
                 # was lost, but the slot needs a live process
                 worker = self._replace(worker)
             try:
-                return self._roundtrip(worker, options, requests)
+                return self._attempt(worker, options, requests, attempt=1)
             except WorkerCrash:
                 with self._lock:
                     self._counters["retries"] += 1
+                get_metrics().counter("service_worker_retries_total").inc()
                 worker = self._replace(worker)
                 try:
-                    return self._roundtrip(worker, options, requests)
+                    return self._attempt(worker, options, requests, attempt=2)
                 except WorkerCrash:
                     # second death on the same batch: fail the batch,
                     # but heal the slot so the pool stays full-strength
@@ -441,9 +489,23 @@ class WorkerPool:
         finally:
             self._idle.put(worker)
 
+    def _attempt(self, worker: _Worker, options, requests, attempt: int) -> BatchResult:
+        """One dispatch attempt, wrapped in its own span so a crashed
+        first attempt and its retry are both visible in the trace."""
+        with trace.span(
+            "pool.dispatch", worker=worker.name, attempt=attempt
+        ) as span:
+            try:
+                return self._roundtrip(worker, options, requests)
+            except WorkerCrash:
+                span.attrs["crashed"] = True
+                raise
+
     def _roundtrip(self, worker: _Worker, options, requests) -> BatchResult:
         try:
-            worker.conn.send(("batch", options, tuple(requests)))
+            worker.conn.send(
+                ("batch", options, tuple(requests), trace.current())
+            )
             # liveness-aware wait: EOF is unreliable under fork (later
             # siblings inherit earlier pipes), so poll the process too
             while not worker.conn.poll(0.05):

@@ -72,6 +72,7 @@ def test_runbook_documents_every_benchmark_gate():
         "test_experiment_sharding.py",
         "test_service_throughput.py",
         "test_fuzz_throughput.py",
+        "test_obs_overhead.py",
     ):
         assert gate in text, f"RUNBOOK does not mention {gate}"
         assert (REPO_ROOT / "benchmarks" / gate).is_file()
